@@ -1,0 +1,416 @@
+// Package bonsai's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (§7), plus real-machine benchmarks
+// of the tree and the VM designs on this host.
+//
+// The Fig*/Table1 benchmarks drive the discrete-event simulation of the
+// paper's 80-core machine (internal/sim) and report the figure's
+// headline metrics via b.ReportMetric; `cmd/asplos12` renders the full
+// sweeps. The remaining benchmarks execute the real data structures.
+//
+//	go test -bench=. -benchmem
+package bonsai
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"bonsai/internal/avl"
+	"bonsai/internal/coherence"
+	"bonsai/internal/core"
+	"bonsai/internal/locks"
+	"bonsai/internal/rbtree"
+	"bonsai/internal/sim"
+	"bonsai/internal/skiplist"
+	"bonsai/internal/vm"
+	"bonsai/internal/vma"
+	"bonsai/internal/workload"
+)
+
+// ---- Tree microbenchmarks (the §3 data structure itself) ----
+
+const treeN = 100_000
+
+func benchKeys(n int) []uint64 {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	return keys
+}
+
+func BenchmarkBonsaiInsert(b *testing.B) {
+	keys := benchKeys(b.N)
+	t := core.New[int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(keys[i], i)
+	}
+}
+
+// BenchmarkBonsaiInsertNoOpt is the §3.3 ablation: path copying all the
+// way to the root on every insert (O(log n) garbage).
+func BenchmarkBonsaiInsertNoOpt(b *testing.B) {
+	keys := benchKeys(b.N)
+	t := core.NewTree[int](core.Options{UpdateInPlace: false})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(keys[i], i)
+	}
+}
+
+func BenchmarkRBInsert(b *testing.B) {
+	keys := benchKeys(b.N)
+	t := rbtree.New[int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(keys[i], i)
+	}
+}
+
+func BenchmarkAVLInsert(b *testing.B) {
+	keys := benchKeys(b.N)
+	t := avl.New[int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(keys[i], i)
+	}
+}
+
+func BenchmarkSkiplistInsert(b *testing.B) {
+	keys := benchKeys(b.N)
+	l := skiplist.New[int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(keys[i], i)
+	}
+}
+
+func BenchmarkSkiplistLookup(b *testing.B) {
+	keys := benchKeys(treeN)
+	l := skiplist.New[int]()
+	for i, k := range keys {
+		l.Insert(k, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Lookup(keys[i%treeN])
+	}
+}
+
+func BenchmarkBonsaiLookup(b *testing.B) {
+	keys := benchKeys(treeN)
+	t := core.New[int]()
+	for i, k := range keys {
+		t.Insert(k, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(keys[i%treeN])
+	}
+}
+
+func BenchmarkRBLookup(b *testing.B) {
+	keys := benchKeys(treeN)
+	t := rbtree.New[int]()
+	for i, k := range keys {
+		t.Insert(k, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(keys[i%treeN])
+	}
+}
+
+// BenchmarkBonsaiLookupDuringWrites measures the paper's read-side
+// claim: lock-free lookups proceed while a writer mutates the tree.
+func BenchmarkBonsaiLookupDuringWrites(b *testing.B) {
+	keys := benchKeys(treeN)
+	t := core.New[int]()
+	for i, k := range keys {
+		t.Insert(k, i)
+	}
+	stop := make(chan struct{})
+	go func() {
+		rng := rand.New(rand.NewSource(2))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := rng.Uint64()
+			t.Insert(k, 1)
+			t.Delete(k)
+		}
+	}()
+	defer close(stop)
+	var i atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			t.Lookup(keys[i.Add(1)%treeN])
+		}
+	})
+}
+
+// BenchmarkRBLookupDuringWrites is the baseline: readers share an
+// rwlock with the same writer, as stock Linux's region tree does.
+func BenchmarkRBLookupDuringWrites(b *testing.B) {
+	keys := benchKeys(treeN)
+	t := rbtree.New[int]()
+	var sem locks.RWSem
+	for i, k := range keys {
+		t.Insert(k, i)
+	}
+	stop := make(chan struct{})
+	go func() {
+		rng := rand.New(rand.NewSource(2))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := rng.Uint64()
+			sem.Lock()
+			t.Insert(k, 1)
+			t.Delete(k)
+			sem.Unlock()
+		}
+	}()
+	defer close(stop)
+	var i atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sem.RLock()
+			t.Lookup(keys[i.Add(1)%treeN])
+			sem.RUnlock()
+		}
+	})
+}
+
+// BenchmarkRotationStats reports the §3.3 per-insert statistics as
+// custom metrics (rotations/op, allocs/op, frees/op).
+func BenchmarkRotationStats(b *testing.B) {
+	t := core.New[int]()
+	rng := rand.New(rand.NewSource(3))
+	for t.Len() < treeN {
+		t.Insert(rng.Uint64(), 0)
+	}
+	t.ResetStats()
+	b.ResetTimer()
+	inserted := 0
+	for i := 0; i < b.N; i++ {
+		if t.Insert(rng.Uint64(), 0) {
+			inserted++
+		}
+	}
+	b.StopTimer()
+	if inserted > 0 {
+		st := t.Stats()
+		b.ReportMetric(float64(st.Rotations())/float64(inserted), "rotations/op")
+		b.ReportMetric(float64(st.Allocs)/float64(inserted), "nodealloc/op")
+		b.ReportMetric(float64(st.Frees)/float64(inserted), "nodefree/op")
+	}
+}
+
+// ---- Real-machine VM benchmarks (all four designs on this host) ----
+
+func benchFault(b *testing.B, d vm.Design) {
+	as, err := vm.New(vm.Config{Design: d, CPUs: 1, Frames: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer as.Close()
+	cpu := as.NewCPU(0)
+	const pages = 1 << 14
+	base, err := as.Mmap(0, pages*vm.PageSize, vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%pages == 0 && i > 0 {
+			b.StopTimer()
+			if err := as.Munmap(base, pages*vm.PageSize); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := as.Mmap(base, pages*vm.PageSize, vma.ProtRead|vma.ProtWrite, vma.Fixed, nil, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if err := cpu.Fault(base+uint64(i%pages)*vm.PageSize, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFaultRWLock(b *testing.B)    { benchFault(b, vm.RWLock) }
+func BenchmarkFaultFaultLock(b *testing.B) { benchFault(b, vm.FaultLock) }
+func BenchmarkFaultHybrid(b *testing.B)    { benchFault(b, vm.Hybrid) }
+func BenchmarkFaultPureRCU(b *testing.B)   { benchFault(b, vm.PureRCU) }
+
+// benchAppWorkload runs the real-execution application generators.
+func benchAppWorkload(b *testing.B, d vm.Design, run func(*vm.AddressSpace) (workload.Result, error)) {
+	for i := 0; i < b.N; i++ {
+		as, err := vm.New(vm.Config{Design: d, CPUs: 4, Frames: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := run(as)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := as.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rate(), "faults/s")
+	}
+}
+
+func BenchmarkWorkloadMetisRWLock(b *testing.B) {
+	benchAppWorkload(b, vm.RWLock, func(as *vm.AddressSpace) (workload.Result, error) {
+		return workload.RunMetis(as, workload.MetisConfig{Workers: 4, SegmentsPerWorker: 4, SegmentPages: 256})
+	})
+}
+
+func BenchmarkWorkloadMetisPureRCU(b *testing.B) {
+	benchAppWorkload(b, vm.PureRCU, func(as *vm.AddressSpace) (workload.Result, error) {
+		return workload.RunMetis(as, workload.MetisConfig{Workers: 4, SegmentsPerWorker: 4, SegmentPages: 256})
+	})
+}
+
+func BenchmarkWorkloadPsearchyRWLock(b *testing.B) {
+	benchAppWorkload(b, vm.RWLock, func(as *vm.AddressSpace) (workload.Result, error) {
+		return workload.RunPsearchy(as, workload.PsearchyConfig{Workers: 4, TablePages: 256, BufferOps: 200, BufferPage: 2})
+	})
+}
+
+func BenchmarkWorkloadPsearchyPureRCU(b *testing.B) {
+	benchAppWorkload(b, vm.PureRCU, func(as *vm.AddressSpace) (workload.Result, error) {
+		return workload.RunPsearchy(as, workload.PsearchyConfig{Workers: 4, TablePages: 256, BufferOps: 200, BufferPage: 2})
+	})
+}
+
+func BenchmarkWorkloadDedupRWLock(b *testing.B) {
+	benchAppWorkload(b, vm.RWLock, func(as *vm.AddressSpace) (workload.Result, error) {
+		return workload.RunDedup(as, workload.DedupConfig{Workers: 4, Chunks: 8, ChunkPages: 128})
+	})
+}
+
+func BenchmarkWorkloadDedupPureRCU(b *testing.B) {
+	benchAppWorkload(b, vm.PureRCU, func(as *vm.AddressSpace) (workload.Result, error) {
+		return workload.RunDedup(as, workload.DedupConfig{Workers: 4, Chunks: 8, ChunkPages: 128})
+	})
+}
+
+// ---- Paper figures and table (simulated 80-core machine) ----
+
+const benchSimCycles = 6_000_000
+
+// BenchmarkFig13Metis reports Metis throughput at 80 simulated cores
+// for stock and pure RCU, and their ratio (paper: 3.4x).
+func BenchmarkFig13Metis(b *testing.B) { benchFigApp(b, sim.Metis) }
+
+// BenchmarkFig14Psearchy reports Psearchy at 80 simulated cores
+// (paper ratio: 1.8x).
+func BenchmarkFig14Psearchy(b *testing.B) { benchFigApp(b, sim.Psearchy) }
+
+// BenchmarkFig15Dedup reports Dedup at 80 simulated cores (paper
+// ratio: 1.7x).
+func BenchmarkFig15Dedup(b *testing.B) { benchFigApp(b, sim.Dedup) }
+
+func benchFigApp(b *testing.B, app sim.AppModel) {
+	m := &coherence.E78870
+	for i := 0; i < b.N; i++ {
+		stock := sim.RunApp(m, vm.RWLock, sim.DefaultParams, app, 80)
+		pure := sim.RunApp(m, vm.PureRCU, sim.DefaultParams, app, 80)
+		b.ReportMetric(stock.JobsPerHour, "stock-jobs/h")
+		b.ReportMetric(pure.JobsPerHour, "purercu-jobs/h")
+		b.ReportMetric(pure.JobsPerHour/stock.JobsPerHour, "speedup-x")
+	}
+}
+
+// BenchmarkTable1 reports the user/sys/idle seconds of a stock and a
+// pure-RCU Metis job at 80 simulated cores (paper: 150/196/45 versus
+// 102/11/1).
+func BenchmarkTable1(b *testing.B) {
+	m := &coherence.E78870
+	for i := 0; i < b.N; i++ {
+		stock := sim.RunApp(m, vm.RWLock, sim.DefaultParams, sim.Metis, 80)
+		pure := sim.RunApp(m, vm.PureRCU, sim.DefaultParams, sim.Metis, 80)
+		b.ReportMetric(stock.SysSeconds, "stock-sys-s")
+		b.ReportMetric(pure.SysSeconds, "purercu-sys-s")
+		b.ReportMetric(stock.UserSeconds, "stock-user-s")
+	}
+}
+
+// BenchmarkFig16Throughput reports microbenchmark fault throughput at
+// 80 simulated cores (paper: pure RCU ~20M faults/s; lock designs far
+// below).
+func BenchmarkFig16Throughput(b *testing.B) {
+	m := &coherence.E78870
+	for i := 0; i < b.N; i++ {
+		pure := sim.RunMicro(m, vm.PureRCU, sim.DefaultParams, 80, 0, benchSimCycles)
+		stock := sim.RunMicro(m, vm.RWLock, sim.DefaultParams, 80, 0, benchSimCycles)
+		b.ReportMetric(pure.FaultsPerSec/1e6, "purercu-Mfaults/s")
+		b.ReportMetric(stock.FaultsPerSec/1e6, "stock-Mfaults/s")
+	}
+}
+
+// BenchmarkFig17Cycles reports cycles per fault at 80 simulated cores
+// (paper: ~8,869 pure RCU; >10x that for the lock designs).
+func BenchmarkFig17Cycles(b *testing.B) {
+	m := &coherence.E78870
+	for i := 0; i < b.N; i++ {
+		pure := sim.RunMicro(m, vm.PureRCU, sim.DefaultParams, 80, 0, benchSimCycles)
+		stock := sim.RunMicro(m, vm.RWLock, sim.DefaultParams, 80, 0, benchSimCycles)
+		b.ReportMetric(pure.CyclesPerFault, "purercu-cyc/fault")
+		b.ReportMetric(stock.CyclesPerFault, "stock-cyc/fault")
+	}
+}
+
+// BenchmarkFig18MmapFraction reports the normalized fault cost with one
+// core continuously in mmap/munmap (paper: 29x stock, ~1x pure RCU).
+func BenchmarkFig18MmapFraction(b *testing.B) {
+	m := &coherence.E78870
+	for i := 0; i < b.N; i++ {
+		stockBase := sim.RunMicro(m, vm.RWLock, sim.DefaultParams, 10, 0, benchSimCycles)
+		stockFull := sim.RunMicro(m, vm.RWLock, sim.DefaultParams, 10, 1.0, benchSimCycles)
+		pureBase := sim.RunMicro(m, vm.PureRCU, sim.DefaultParams, 80, 0, benchSimCycles)
+		pureFull := sim.RunMicro(m, vm.PureRCU, sim.DefaultParams, 80, 1.0, benchSimCycles)
+		b.ReportMetric(stockFull.CyclesPerFault/stockBase.CyclesPerFault, "stock-normcost-x")
+		b.ReportMetric(pureFull.CyclesPerFault/pureBase.CyclesPerFault, "purercu-normcost-x")
+	}
+}
+
+// BenchmarkMicroRealMmapInterference is the real-machine analogue of
+// Figure 18 on this host: fault rate with and without a concurrent
+// mapping thread.
+func BenchmarkMicroRealMmapInterference(b *testing.B) {
+	for _, d := range []vm.Design{vm.RWLock, vm.PureRCU} {
+		d := d
+		b.Run(d.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				as, err := vm.New(vm.Config{Design: d, CPUs: 2, Frames: 1 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := workload.RunMicro(as, workload.MicroConfig{
+					FaultWorkers: 2, Pages: 2048, MmapFraction: 0.5, Seed: 42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := as.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Rate(), "faults/s")
+			}
+		})
+	}
+}

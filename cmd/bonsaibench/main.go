@@ -1,0 +1,208 @@
+// Command bonsaibench compares the BONSAI tree against the mutable
+// red-black and AVL baselines on this machine:
+//
+//	bonsaibench -n 1000000 -readers 4 -writefrac 0.1 -secs 2
+//
+// It reports single-threaded operation costs, mixed read/write
+// throughput with lock-free readers (BONSAI) versus rwlock-protected
+// readers (RB/AVL), and the §3.3 allocation statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bonsai/internal/avl"
+	"bonsai/internal/core"
+	"bonsai/internal/locks"
+	"bonsai/internal/rbtree"
+	"bonsai/internal/stats"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 1_000_000, "tree size")
+		readers   = flag.Int("readers", 4, "concurrent reader goroutines")
+		writeFrac = flag.Float64("writefrac", 0.1, "writer duty cycle (0..1)")
+		secs      = flag.Float64("secs", 1.0, "measurement seconds per configuration")
+	)
+	flag.Parse()
+
+	fmt.Printf("Sequential operations, n=%d:\n\n", *n)
+	seq(*n)
+	fmt.Printf("\nConcurrent lookups with %d readers, writer duty %.0f%%, %gs each:\n\n",
+		*readers, *writeFrac*100, *secs)
+	concurrent(*n, *readers, *writeFrac, time.Duration(*secs*float64(time.Second)))
+}
+
+func seq(n int) {
+	keys := rand.New(rand.NewSource(1)).Perm(n * 2)
+
+	t := &stats.Table{Columns: []string{"Tree", "insert ns/op", "lookup ns/op", "delete ns/op"}}
+
+	row := func(name string, insert, lookup, del func() time.Duration) {
+		t.AddRow(name,
+			stats.FormatFloat(float64(insert().Nanoseconds())/float64(n)),
+			stats.FormatFloat(float64(lookup().Nanoseconds())/float64(n)),
+			stats.FormatFloat(float64(del().Nanoseconds())/float64(n)))
+	}
+
+	bonsai := core.New[int]()
+	row("BONSAI",
+		func() time.Duration {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				bonsai.Insert(uint64(keys[i]), i)
+			}
+			return time.Since(start)
+		},
+		func() time.Duration {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				bonsai.Lookup(uint64(keys[i]))
+			}
+			return time.Since(start)
+		},
+		func() time.Duration {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				bonsai.Delete(uint64(keys[i]))
+			}
+			return time.Since(start)
+		})
+
+	rb := rbtree.New[int]()
+	row("Red-black",
+		func() time.Duration {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				rb.Insert(uint64(keys[i]), i)
+			}
+			return time.Since(start)
+		},
+		func() time.Duration {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				rb.Lookup(uint64(keys[i]))
+			}
+			return time.Since(start)
+		},
+		func() time.Duration {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				rb.Delete(uint64(keys[i]))
+			}
+			return time.Since(start)
+		})
+
+	av := avl.New[int]()
+	row("AVL",
+		func() time.Duration {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				av.Insert(uint64(keys[i]), i)
+			}
+			return time.Since(start)
+		},
+		func() time.Duration {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				av.Lookup(uint64(keys[i]))
+			}
+			return time.Since(start)
+		},
+		func() time.Duration {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				av.Delete(uint64(keys[i]))
+			}
+			return time.Since(start)
+		})
+
+	fmt.Println(t)
+
+	st := bonsai.Stats()
+	fmt.Printf("BONSAI writer stats: %.3f rotations/op, %d in-place commits\n",
+		float64(st.Rotations())/float64(2*n), st.InPlaceCommits)
+}
+
+func concurrent(n, readers int, writeFrac float64, dur time.Duration) {
+	// BONSAI: lock-free readers, single writer.
+	bonsai := core.New[int]()
+	for i := 0; i < n; i++ {
+		bonsai.Insert(uint64(i)*2, i)
+	}
+	bRate := runMixed(readers, dur, writeFrac,
+		func(k uint64) { bonsai.Lookup(k) },
+		func(k uint64, v int) { bonsai.Insert(k|1, v); bonsai.Delete(k | 1) },
+		uint64(n)*2)
+
+	// Red-black: readers take a read/write lock, as stock Linux does.
+	rb := rbtree.New[int]()
+	for i := 0; i < n; i++ {
+		rb.Insert(uint64(i)*2, i)
+	}
+	var sem locks.RWSem
+	rbRate := runMixed(readers, dur, writeFrac,
+		func(k uint64) { sem.RLock(); rb.Lookup(k); sem.RUnlock() },
+		func(k uint64, v int) {
+			sem.Lock()
+			rb.Insert(k|1, v)
+			rb.Delete(k | 1)
+			sem.Unlock()
+		},
+		uint64(n)*2)
+
+	t := &stats.Table{Columns: []string{"Configuration", "lookups/sec", "vs locked RB"}}
+	t.AddRow("BONSAI (lock-free lookups)", stats.FormatFloat(bRate), fmt.Sprintf("%.2fx", bRate/rbRate))
+	t.AddRow("Red-black + rwlock readers", stats.FormatFloat(rbRate), "1.00x")
+	fmt.Println(t)
+}
+
+func runMixed(readers int, dur time.Duration, writeFrac float64,
+	lookup func(uint64), write func(uint64, int), keySpace uint64) float64 {
+	var lookups atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lookup(uint64(rng.Int63()) % keySpace)
+				lookups.Add(1)
+			}
+		}(int64(r))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if rng.Float64() < writeFrac {
+				write(uint64(rng.Int63())%keySpace, 1)
+			} else {
+				time.Sleep(10 * time.Microsecond)
+			}
+		}
+	}()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	return float64(lookups.Load()) / dur.Seconds()
+}

@@ -1,0 +1,158 @@
+// Allocator: a Streamflow-style segment allocator built on the VM
+// system — the allocation pattern that makes Metis VM-intensive (§7.2:
+// Streamflow "mmaps allocation pools in 8 MB segments").
+//
+// Worker goroutines allocate and free fixed-size blocks; the allocator
+// carves them from mmap'd segments, faulting pages on first touch, and
+// returns whole segments to the kernel with munmap when they drain.
+// Run it under the stock design and the pure-RCU design to compare the
+// fault behaviour.
+//
+//	go run ./examples/allocator
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"bonsai/internal/vm"
+	"bonsai/internal/vma"
+)
+
+const (
+	segmentPages = 512 // 2 MB segments
+	blockSize    = 16 * 1024
+	blocksPerSeg = segmentPages * vm.PageSize / blockSize
+)
+
+// segment is one mmap'd arena carved into fixed-size blocks.
+type segment struct {
+	base uint64
+	used int
+	free []uint64
+}
+
+// arena is a toy Streamflow: per-worker block caches over shared segments.
+type arena struct {
+	as *vm.AddressSpace
+
+	mu       sync.Mutex
+	segments []*segment
+}
+
+func (a *arena) alloc(cpu *vm.CPU) (uint64, error) {
+	a.mu.Lock()
+	var seg *segment
+	for _, s := range a.segments {
+		if len(s.free) > 0 || s.used < blocksPerSeg {
+			seg = s
+			break
+		}
+	}
+	if seg == nil {
+		base, err := a.as.Mmap(0, segmentPages*vm.PageSize, vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+		if err != nil {
+			a.mu.Unlock()
+			return 0, err
+		}
+		seg = &segment{base: base}
+		a.segments = append(a.segments, seg)
+	}
+	var block uint64
+	if len(seg.free) > 0 {
+		block = seg.free[len(seg.free)-1]
+		seg.free = seg.free[:len(seg.free)-1]
+	} else {
+		block = seg.base + uint64(seg.used)*blockSize
+	}
+	seg.used++
+	a.mu.Unlock()
+
+	// First touch soft-faults the block's pages — this is where Metis
+	// spends its kernel time.
+	for off := uint64(0); off < blockSize; off += vm.PageSize {
+		if err := cpu.Fault(block+off, true); err != nil {
+			return 0, err
+		}
+	}
+	return block, nil
+}
+
+func (a *arena) freeBlock(block uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, s := range a.segments {
+		if block >= s.base && block < s.base+segmentPages*vm.PageSize {
+			s.used--
+			s.free = append(s.free, block)
+			if s.used == 0 {
+				// Whole segment drained: give it back to the kernel.
+				a.segments = append(a.segments[:i], a.segments[i+1:]...)
+				return a.as.Munmap(s.base, segmentPages*vm.PageSize)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("free of unknown block %#x", block)
+}
+
+func run(design vm.Design, workers, blocksPerWorker int) error {
+	as, err := vm.New(vm.Config{Design: design, CPUs: workers})
+	if err != nil {
+		return err
+	}
+	a := &arena{as: as}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cpu := as.NewCPU(id)
+			var live []uint64
+			for i := 0; i < blocksPerWorker; i++ {
+				b, err := a.alloc(cpu)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				live = append(live, b)
+				if len(live) > 16 { // working set cap: free the oldest
+					if err := a.freeBlock(live[0]); err != nil {
+						errCh <- err
+						return
+					}
+					live = live[1:]
+				}
+			}
+			for _, b := range live {
+				if err := a.freeBlock(b); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	st := as.Stats()
+	fmt.Printf("%-22s %6d faults, %4d mmaps, %4d munmaps, %3d slow retries\n",
+		design, st.Faults, st.Mmaps, st.Munmaps, st.Retries())
+	return as.Close()
+}
+
+func main() {
+	fmt.Printf("Streamflow-style allocator: %d workers x 400 x %d KB blocks (%d KB segments)\n\n",
+		4, blockSize/1024, segmentPages*vm.PageSize/1024)
+	for _, d := range []vm.Design{vm.RWLock, vm.PureRCU} {
+		if err := run(d, 4, 400); err != nil {
+			log.Fatalf("%v: %v", d, err)
+		}
+	}
+}

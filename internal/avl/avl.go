@@ -1,0 +1,265 @@
+// Package avl implements a classic mutable AVL tree, the region-tree
+// structure used by Solaris and pre-Windows-7 Windows (§2). Like
+// internal/rbtree it requires external locking and serves as a baseline
+// in the tree benchmarks.
+package avl
+
+import "fmt"
+
+type node[V any] struct {
+	left, right *node[V]
+	height      int8
+	key         uint64
+	val         V
+}
+
+// Tree is a mutable AVL tree mapping uint64 keys to values. Callers
+// must provide their own synchronization.
+type Tree[V any] struct {
+	root  *node[V]
+	count int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] { return &Tree[V]{} }
+
+// Len returns the number of entries.
+func (t *Tree[V]) Len() int { return t.count }
+
+func h[V any](n *node[V]) int8 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix[V any](n *node[V]) {
+	l, r := h(n.left), h(n.right)
+	if l > r {
+		n.height = l + 1
+	} else {
+		n.height = r + 1
+	}
+}
+
+func balanceFactor[V any](n *node[V]) int {
+	return int(h(n.left)) - int(h(n.right))
+}
+
+func rotateRight[V any](y *node[V]) *node[V] {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	fix(y)
+	fix(x)
+	return x
+}
+
+func rotateLeft[V any](x *node[V]) *node[V] {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	fix(x)
+	fix(y)
+	return y
+}
+
+func rebalance[V any](n *node[V]) *node[V] {
+	fix(n)
+	bf := balanceFactor(n)
+	switch {
+	case bf > 1:
+		if balanceFactor(n.left) < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if balanceFactor(n.right) > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Insert stores val at key, replacing any existing value. It reports
+// whether a new key was inserted.
+func (t *Tree[V]) Insert(key uint64, val V) bool {
+	var added bool
+	t.root, added = insert(t.root, key, val)
+	if added {
+		t.count++
+	}
+	return added
+}
+
+func insert[V any](n *node[V], key uint64, val V) (*node[V], bool) {
+	if n == nil {
+		return &node[V]{height: 1, key: key, val: val}, true
+	}
+	var added bool
+	switch {
+	case key < n.key:
+		n.left, added = insert(n.left, key, val)
+	case key > n.key:
+		n.right, added = insert(n.right, key, val)
+	default:
+		n.val = val
+		return n, false
+	}
+	return rebalance(n), added
+}
+
+// Delete removes key. It reports whether the key was present.
+func (t *Tree[V]) Delete(key uint64) bool {
+	var deleted bool
+	t.root, deleted = del(t.root, key)
+	if deleted {
+		t.count--
+	}
+	return deleted
+}
+
+func del[V any](n *node[V], key uint64) (*node[V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch {
+	case key < n.key:
+		n.left, deleted = del(n.left, key)
+	case key > n.key:
+		n.right, deleted = del(n.right, key)
+	default:
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		min := n.right
+		for min.left != nil {
+			min = min.left
+		}
+		n.key, n.val = min.key, min.val
+		n.right, _ = del(n.right, min.key)
+		deleted = true
+	}
+	if !deleted {
+		return n, false
+	}
+	return rebalance(n), true
+}
+
+// Lookup reports the value stored at key.
+func (t *Tree[V]) Lookup(key uint64) (V, bool) {
+	n := t.root
+	for n != nil && n.key != key {
+		if key < n.key {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Contains reports whether key is present.
+func (t *Tree[V]) Contains(key uint64) bool {
+	_, ok := t.Lookup(key)
+	return ok
+}
+
+// Floor returns the entry with the greatest key <= key.
+func (t *Tree[V]) Floor(key uint64) (k uint64, v V, ok bool) {
+	n := t.root
+	var best *node[V]
+	for n != nil {
+		switch {
+		case n.key == key:
+			return n.key, n.val, true
+		case n.key < key:
+			best = n
+			n = n.right
+		default:
+			n = n.left
+		}
+	}
+	if best == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return best.key, best.val, true
+}
+
+// Ascend calls fn for each entry in ascending key order until fn
+// returns false.
+func (t *Tree[V]) Ascend(fn func(key uint64, val V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[V any](n *node[V], fn func(uint64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	return ascend(n.left, fn) && fn(n.key, n.val) && ascend(n.right, fn)
+}
+
+// Keys returns all keys in ascending order.
+func (t *Tree[V]) Keys() []uint64 {
+	keys := make([]uint64, 0, t.count)
+	t.Ascend(func(k uint64, _ V) bool { keys = append(keys, k); return true })
+	return keys
+}
+
+// Height returns the height of the tree.
+func (t *Tree[V]) Height() int { return int(h(t.root)) }
+
+// Validate checks the AVL invariants: BST order, correct cached heights,
+// and balance factors within [-1, 1].
+func (t *Tree[V]) Validate() error {
+	n, _, err := validate(t.root, 0, ^uint64(0), true, true)
+	if err != nil {
+		return err
+	}
+	if n != t.count {
+		return fmt.Errorf("avl: count %d != nodes %d", t.count, n)
+	}
+	return nil
+}
+
+func validate[V any](n *node[V], lo, hi uint64, loOpen, hiOpen bool) (count int, height int8, err error) {
+	if n == nil {
+		return 0, 0, nil
+	}
+	if !loOpen && n.key <= lo {
+		return 0, 0, fmt.Errorf("avl: BST violation: %d <= %d", n.key, lo)
+	}
+	if !hiOpen && n.key >= hi {
+		return 0, 0, fmt.Errorf("avl: BST violation: %d >= %d", n.key, hi)
+	}
+	lc, lh, err := validate(n.left, lo, n.key, loOpen, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	rc, rh, err := validate(n.right, n.key, hi, false, hiOpen)
+	if err != nil {
+		return 0, 0, err
+	}
+	want := lh
+	if rh > want {
+		want = rh
+	}
+	want++
+	if n.height != want {
+		return 0, 0, fmt.Errorf("avl: cached height %d != %d at %d", n.height, want, n.key)
+	}
+	if d := int(lh) - int(rh); d < -1 || d > 1 {
+		return 0, 0, fmt.Errorf("avl: balance factor %d at %d", d, n.key)
+	}
+	return 1 + lc + rc, want, nil
+}

@@ -1,0 +1,120 @@
+package avl
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New[int]()
+	if tr.Len() != 0 || tr.Delete(1) {
+		t.Fatal("empty tree misbehaved")
+	}
+	if _, ok := tr.Lookup(0); ok {
+		t.Fatal("lookup on empty succeeded")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int]()
+	ref := map[uint64]int{}
+	for i := 0; i < 30000; i++ {
+		k := uint64(rng.Intn(3000))
+		if rng.Intn(2) == 0 {
+			added := tr.Insert(k, i)
+			if _, had := ref[k]; added == had {
+				t.Fatalf("Insert(%d) added=%v had=%v", k, added, had)
+			}
+			ref[k] = i
+		} else {
+			del := tr.Delete(k)
+			if _, had := ref[k]; del != had {
+				t.Fatalf("Delete(%d)=%v had=%v", k, del, had)
+			}
+			delete(ref, k)
+		}
+		if i%5000 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len=%d ref=%d", tr.Len(), len(ref))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendingInsertHeight(t *testing.T) {
+	tr := New[int]()
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// AVL height <= 1.44*log2(n+2): about 21 for n=16384.
+	if h := tr.Height(); h > 21 {
+		t.Fatalf("height %d exceeds AVL bound", h)
+	}
+}
+
+func TestFloorAndOrder(t *testing.T) {
+	tr := New[int]()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		tr.Insert(uint64(rng.Intn(10000))*2, i) // even keys
+	}
+	keys := tr.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("not sorted")
+	}
+	for i := 0; i < 100; i++ {
+		q := uint64(rng.Intn(20000))
+		k, _, ok := tr.Floor(q)
+		j := sort.Search(len(keys), func(i int) bool { return keys[i] > q })
+		if j == 0 {
+			if ok {
+				t.Fatalf("Floor(%d)=%d, want miss", q, k)
+			}
+		} else if !ok || k != keys[j-1] {
+			t.Fatalf("Floor(%d)=%d,%v want %d", q, k, ok, keys[j-1])
+		}
+	}
+}
+
+func TestQuickSetSemantics(t *testing.T) {
+	f := func(ins, dels []uint16) bool {
+		tr := New[struct{}]()
+		want := map[uint64]bool{}
+		for _, k := range ins {
+			tr.Insert(uint64(k), struct{}{})
+			want[uint64(k)] = true
+		}
+		for _, k := range dels {
+			tr.Delete(uint64(k))
+			delete(want, uint64(k))
+		}
+		if tr.Len() != len(want) || tr.Validate() != nil {
+			return false
+		}
+		for k := range want {
+			if !tr.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

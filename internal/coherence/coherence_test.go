@@ -1,0 +1,79 @@
+package coherence
+
+import "testing"
+
+func TestTopology(t *testing.T) {
+	topo := Topology{Sockets: 8, CoresPerSocket: 10}
+	if topo.Cores() != 80 {
+		t.Fatalf("Cores = %d", topo.Cores())
+	}
+	// Packed: cores 0..9 on socket 0.
+	if topo.Socket(0, false) != 0 || topo.Socket(9, false) != 0 || topo.Socket(10, false) != 1 {
+		t.Fatal("packed placement wrong")
+	}
+	// Spread: consecutive cores round-robin sockets.
+	if topo.Socket(0, true) != 0 || topo.Socket(1, true) != 1 || topo.Socket(8, true) != 0 {
+		t.Fatal("spread placement wrong")
+	}
+}
+
+func TestAcquireCosts(t *testing.T) {
+	m := E78870
+	l := NewLine()
+	// First touch: local (no previous owner).
+	end := m.Acquire(l, 0, 0, false)
+	if end != m.Lat.LocalHit {
+		t.Fatalf("first acquire cost %d, want %d", end, m.Lat.LocalHit)
+	}
+	// Repeat by owner: local.
+	end2 := m.Acquire(l, 0, end, false)
+	if end2-end != m.Lat.LocalHit {
+		t.Fatalf("owner re-acquire cost %d", end2-end)
+	}
+	// Same-socket core (packed: core 1 is socket 0).
+	end3 := m.Acquire(l, 1, end2, false)
+	if end3-end2 != m.Lat.SameSocket {
+		t.Fatalf("same-socket transfer cost %d, want %d", end3-end2, m.Lat.SameSocket)
+	}
+	// Cross-socket core (packed: core 10 is socket 1).
+	end4 := m.Acquire(l, 10, end3, false)
+	if end4-end3 != m.Lat.CrossSocket {
+		t.Fatalf("cross-socket transfer cost %d, want %d", end4-end3, m.Lat.CrossSocket)
+	}
+	if l.Transfers() != 2 {
+		t.Fatalf("transfers = %d, want 2", l.Transfers())
+	}
+}
+
+func TestAcquireQueues(t *testing.T) {
+	m := E78870
+	l := NewLine()
+	m.Acquire(l, 0, 0, false)
+	// Two cross-socket acquires issued at the same instant must
+	// serialize: the second completes a full transfer after the first.
+	a := m.Acquire(l, 10, 100, false)
+	b := m.Acquire(l, 20, 100, false)
+	if b != a+m.Lat.CrossSocket {
+		t.Fatalf("second acquire finished at %d, want %d (queued)", b, a+m.Lat.CrossSocket)
+	}
+}
+
+func TestReadSharingInvalidation(t *testing.T) {
+	m := E78870
+	l := NewLine()
+	m.Acquire(l, 0, 0, false)
+	// Owner read: local.
+	if got := m.Read(l, 0, 1000, false); got != 1000+m.Lat.LocalHit {
+		t.Fatalf("owner read cost %d", got-1000)
+	}
+	// Remote read: shared fetch.
+	if got := m.Read(l, 10, 1000, false); got != 1000+m.Lat.SharedRead {
+		t.Fatalf("remote read cost %d", got-1000)
+	}
+	// Owner write after sharing: invalidation, not a local hit.
+	before := uint64(5000)
+	after := m.Acquire(l, 0, before, false)
+	if after-before == m.Lat.LocalHit {
+		t.Fatal("write to shared line cost a local hit")
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int]()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Lookup(1); ok {
+		t.Fatal("Lookup on empty tree succeeded")
+	}
+	if _, _, ok := tr.Floor(1); ok {
+		t.Fatal("Floor on empty tree succeeded")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree succeeded")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree reported success")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr := New[string]()
+	if !tr.Insert(10, "a") {
+		t.Fatal("Insert of new key reported replace")
+	}
+	if tr.Insert(10, "b") {
+		t.Fatal("Insert of existing key reported new")
+	}
+	v, ok := tr.Lookup(10)
+	if !ok || v != "b" {
+		t.Fatalf("Lookup = %q,%v, want \"b\",true", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestSequentialAscendingInsert(t *testing.T) {
+	// Ascending insertion is the worst case for an unbalanced tree; the
+	// weight bound must keep height logarithmic.
+	tr := New[int]()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Height(); h > 40 {
+		t.Fatalf("height %d too large for %d ascending inserts", h, n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := tr.Lookup(uint64(i)); !ok || v != i {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestSequentialDescendingInsert(t *testing.T) {
+	tr := New[int]()
+	const n = 4096
+	for i := n - 1; i >= 0; i-- {
+		tr.Insert(uint64(i), i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Height(); h > 40 {
+		t.Fatalf("height %d too large", h)
+	}
+}
+
+func TestDeleteLeafAndInterior(t *testing.T) {
+	tr := New[int]()
+	keys := []uint64{50, 25, 75, 10, 30, 60, 90, 5, 15}
+	for _, k := range keys {
+		tr.Insert(k, int(k))
+	}
+	// Delete a leaf.
+	if !tr.Delete(5) {
+		t.Fatal("Delete(5) failed")
+	}
+	// Delete an interior node with two children.
+	if !tr.Delete(25) {
+		t.Fatal("Delete(25) failed")
+	}
+	// Delete the root region of the tree repeatedly.
+	if !tr.Delete(50) {
+		t.Fatal("Delete(50) failed")
+	}
+	if tr.Contains(5) || tr.Contains(25) || tr.Contains(50) {
+		t.Fatal("deleted key still present")
+	}
+	for _, k := range []uint64{10, 15, 30, 60, 75, 90} {
+		if !tr.Contains(k) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New[int]()
+	ref := map[uint64]int{}
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		k := uint64(rng.Intn(2000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			added := tr.Insert(k, i)
+			if _, had := ref[k]; added == had {
+				t.Fatalf("op %d: Insert(%d) added=%v but ref had=%v", i, k, added, had)
+			}
+			ref[k] = i
+		case 2:
+			deleted := tr.Delete(k)
+			if _, had := ref[k]; deleted != had {
+				t.Fatalf("op %d: Delete(%d) = %v but ref had=%v", i, k, deleted, had)
+			}
+			delete(ref, k)
+		}
+		if i%2500 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := tr.Lookup(k); !ok || got != v {
+			t.Fatalf("Lookup(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloorCeiling(t *testing.T) {
+	tr := New[int]()
+	for _, k := range []uint64{10, 20, 30, 40} {
+		tr.Insert(k, int(k))
+	}
+	cases := []struct {
+		q       uint64
+		floorK  uint64
+		floorOK bool
+		ceilK   uint64
+		ceilOK  bool
+	}{
+		{5, 0, false, 10, true},
+		{10, 10, true, 10, true},
+		{15, 10, true, 20, true},
+		{25, 20, true, 30, true},
+		{40, 40, true, 40, true},
+		{45, 40, true, 0, false},
+	}
+	for _, c := range cases {
+		k, _, ok := tr.Floor(c.q)
+		if ok != c.floorOK || (ok && k != c.floorK) {
+			t.Errorf("Floor(%d) = %d,%v want %d,%v", c.q, k, ok, c.floorK, c.floorOK)
+		}
+		k, _, ok = tr.Ceiling(c.q)
+		if ok != c.ceilOK || (ok && k != c.ceilK) {
+			t.Errorf("Ceiling(%d) = %d,%v want %d,%v", c.q, k, ok, c.ceilK, c.ceilOK)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New[int]()
+	rng := rand.New(rand.NewSource(7))
+	lo, hi := uint64(1<<62), uint64(0)
+	for i := 0; i < 500; i++ {
+		k := uint64(rng.Intn(100000)) + 1
+		if k < lo {
+			lo = k
+		}
+		if k > hi {
+			hi = k
+		}
+		tr.Insert(k, 0)
+	}
+	if k, _, ok := tr.Min(); !ok || k != lo {
+		t.Fatalf("Min = %d,%v want %d", k, ok, lo)
+	}
+	if k, _, ok := tr.Max(); !ok || k != hi {
+		t.Fatalf("Max = %d,%v want %d", k, ok, hi)
+	}
+}
+
+func TestAscendSorted(t *testing.T) {
+	tr := New[int]()
+	rng := rand.New(rand.NewSource(3))
+	want := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		k := uint64(rng.Intn(5000))
+		tr.Insert(k, 0)
+		want[k] = true
+	}
+	keys := tr.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(keys), len(want))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("Ascend not sorted")
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Fatalf("unexpected key %d", k)
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[int]()
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i*10, int(i))
+	}
+	var got []uint64
+	tr.AscendRange(250, 500, func(k uint64, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 25 || got[0] != 250 || got[len(got)-1] != 490 {
+		t.Fatalf("AscendRange[250,500) = %v", got)
+	}
+	// Early termination.
+	count := 0
+	tr.AscendRange(0, 1000, func(uint64, int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early-terminated scan visited %d, want 5", count)
+	}
+}
+
+func TestWeightSweep(t *testing.T) {
+	// Weight 2 is excluded: as with Adams' original parameters (and the
+	// long-standing Haskell Data.Map bug), very small weights cannot be
+	// restored by single/double rotations in all cases. The paper uses 4.
+	for _, w := range []int{3, 4, 8, 16} {
+		tr := NewTree[int](Options{Weight: w, UpdateInPlace: true})
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < 5000; i++ {
+			tr.Insert(uint64(rng.Intn(10000)), i)
+			if i%3 == 0 {
+				tr.Delete(uint64(rng.Intn(10000)))
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("weight %d: %v", w, err)
+		}
+	}
+}
+
+func TestInvalidWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("weight 1 did not panic")
+		}
+	}()
+	NewTree[int](Options{Weight: 1})
+}
+
+func TestQuickInsertDeleteSetSemantics(t *testing.T) {
+	// Property: for any sequence of inserts then deletes, the tree
+	// contains exactly the set difference, in sorted order, and stays
+	// structurally valid.
+	f := func(ins []uint16, dels []uint16) bool {
+		tr := New[struct{}]()
+		want := map[uint64]bool{}
+		for _, k := range ins {
+			tr.Insert(uint64(k), struct{}{})
+			want[uint64(k)] = true
+		}
+		for _, k := range dels {
+			tr.Delete(uint64(k))
+			delete(want, uint64(k))
+		}
+		if tr.Len() != len(want) {
+			return false
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		for k := range want {
+			if !tr.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFloorMatchesLinearScan(t *testing.T) {
+	f := func(keys []uint16, q uint16) bool {
+		tr := New[struct{}]()
+		for _, k := range keys {
+			tr.Insert(uint64(k), struct{}{})
+		}
+		var want uint64
+		found := false
+		for _, k := range keys {
+			if uint64(k) <= uint64(q) && (!found || uint64(k) > want) {
+				want, found = uint64(k), true
+			}
+		}
+		k, _, ok := tr.Floor(uint64(q))
+		if ok != found {
+			return false
+		}
+		return !ok || k == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateInPlaceDisabled(t *testing.T) {
+	// With the §3.3 optimization off, the tree must still be correct —
+	// it just produces more garbage (checked in stats_test.go).
+	tr := NewTree[int](Options{UpdateInPlace: false})
+	rng := rand.New(rand.NewSource(11))
+	ref := map[uint64]int{}
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(3000))
+		if rng.Intn(2) == 0 {
+			tr.Insert(k, i)
+			ref[k] = i
+		} else {
+			tr.Delete(k)
+			delete(ref, k)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.InPlaceCommits != 0 {
+		t.Fatalf("in-place commits %d with optimization disabled", st.InPlaceCommits)
+	}
+}

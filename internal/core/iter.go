@@ -1,0 +1,77 @@
+package core
+
+// Ascend calls fn for each entry in ascending key order until fn returns
+// false. Like Lookup it is lock-free: it captures the root pointer once
+// and reads each child pointer at most once per visit. When racing with
+// a writer it observes a mixture of committed states, each of which is a
+// valid tree with the same semantics guarantees a lookup has — this
+// matches what the paper's munmap scan gets, which is why mutators in
+// the VM system iterate only while holding the write lock.
+func (t *Tree[V]) Ascend(fn func(key uint64, val V) bool) {
+	ascend(t.root.Load(), fn)
+}
+
+func ascend[V any](n *node[V], fn func(uint64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left.Load(), fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return ascend(n.right.Load(), fn)
+}
+
+// AscendRange calls fn for each entry with lo <= key < hi in ascending
+// order until fn returns false.
+func (t *Tree[V]) AscendRange(lo, hi uint64, fn func(key uint64, val V) bool) {
+	ascendRange(t.root.Load(), lo, hi, fn)
+}
+
+func ascendRange[V any](n *node[V], lo, hi uint64, fn func(uint64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.key >= lo {
+		if !ascendRange(n.left.Load(), lo, hi, fn) {
+			return false
+		}
+		if n.key < hi && !fn(n.key, n.val) {
+			return false
+		}
+	}
+	if n.key < hi {
+		return ascendRange(n.right.Load(), lo, hi, fn)
+	}
+	return true
+}
+
+// Keys returns all keys in ascending order. Intended for tests and
+// examples.
+func (t *Tree[V]) Keys() []uint64 {
+	keys := make([]uint64, 0, t.Len())
+	t.Ascend(func(k uint64, _ V) bool {
+		keys = append(keys, k)
+		return true
+	})
+	return keys
+}
+
+// Height returns the height of the tree (0 for an empty tree, 1 for a
+// single node). It is a writer-side diagnostic.
+func (t *Tree[V]) Height() int {
+	return height(t.root.Load())
+}
+
+func height[V any](n *node[V]) int {
+	if n == nil {
+		return 0
+	}
+	l, r := height(n.left.Load()), height(n.right.Load())
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

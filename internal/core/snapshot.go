@@ -1,0 +1,59 @@
+package core
+
+// Snapshot is an immutable point-in-time view of a tree running in
+// pure-functional mode. Because every mutation in that mode rebuilds
+// the path to the root and never touches existing nodes, an old root
+// pointer *is* a consistent snapshot — the property §3.1 derives from
+// persistent data structures, before the §3.3 optimization trades it
+// away for O(1) garbage.
+type Snapshot[V any] struct {
+	root *node[V]
+}
+
+// Snapshot captures the current contents. It requires the tree to have
+// been built with UpdateInPlace disabled: with the optimization on,
+// writers mutate interior nodes in place, so an old root no longer
+// denotes a frozen version. Trees with the optimization enabled panic.
+//
+// Snapshots are cheap (one pointer read) and safe to take concurrently
+// with the writer.
+func (t *Tree[V]) Snapshot() Snapshot[V] {
+	if t.opt.UpdateInPlace {
+		panic("core: Snapshot requires Options.UpdateInPlace=false (pure functional mode)")
+	}
+	return Snapshot[V]{root: t.root.Load()}
+}
+
+// Lookup reports the value stored at key in the snapshot.
+func (s Snapshot[V]) Lookup(key uint64) (V, bool) {
+	n := s.root
+	for n != nil && n.key != key {
+		if n.key > key {
+			n = n.left.Load()
+		} else {
+			n = n.right.Load()
+		}
+	}
+	if n == nil {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Len returns the number of entries in the snapshot.
+func (s Snapshot[V]) Len() int { return int(nodeSize(s.root)) }
+
+// Ascend calls fn for each entry in ascending key order until fn
+// returns false. The iteration is fully consistent: it observes exactly
+// the tree as of the snapshot, regardless of later mutations.
+func (s Snapshot[V]) Ascend(fn func(key uint64, val V) bool) {
+	ascend(s.root, fn)
+}
+
+// Keys returns the snapshot's keys in ascending order.
+func (s Snapshot[V]) Keys() []uint64 {
+	keys := make([]uint64, 0, s.Len())
+	s.Ascend(func(k uint64, _ V) bool { keys = append(keys, k); return true })
+	return keys
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSnapshotFrozenView(t *testing.T) {
+	tr := NewTree[int](Options{UpdateInPlace: false})
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i, int(i))
+	}
+	snap := tr.Snapshot()
+
+	// Mutate heavily after the snapshot.
+	for i := uint64(0); i < 100; i += 2 {
+		tr.Delete(i)
+	}
+	for i := uint64(1000); i < 1200; i++ {
+		tr.Insert(i, 0)
+	}
+
+	// The snapshot still holds exactly the original 100 entries.
+	if snap.Len() != 100 {
+		t.Fatalf("snapshot Len = %d", snap.Len())
+	}
+	for i := uint64(0); i < 100; i++ {
+		if v, ok := snap.Lookup(i); !ok || v != int(i) {
+			t.Fatalf("snapshot lost key %d (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := snap.Lookup(1000); ok {
+		t.Fatal("snapshot sees a later insert")
+	}
+	keys := snap.Keys()
+	if len(keys) != 100 || keys[0] != 0 || keys[99] != 99 {
+		t.Fatalf("snapshot keys wrong: %d entries", len(keys))
+	}
+	// The live tree reflects the mutations.
+	if tr.Len() != 50+200 {
+		t.Fatalf("live Len = %d", tr.Len())
+	}
+}
+
+func TestSnapshotConcurrentWithWriter(t *testing.T) {
+	tr := NewTree[int](Options{UpdateInPlace: false})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		tr.Insert(uint64(rng.Intn(10000)), i)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(2))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := uint64(rng.Intn(10000))
+			if rng.Intn(2) == 0 {
+				tr.Insert(k, 1)
+			} else {
+				tr.Delete(k)
+			}
+		}
+	}()
+	for round := 0; round < 200; round++ {
+		snap := tr.Snapshot()
+		// A snapshot taken during mutation must be internally
+		// consistent: sorted keys, count matching Len.
+		keys := snap.Keys()
+		if len(keys) != snap.Len() {
+			t.Fatalf("snapshot Len %d but %d keys iterated", snap.Len(), len(keys))
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i] <= keys[i-1] {
+				t.Fatalf("snapshot keys unsorted at %d", i)
+			}
+		}
+	}
+	close(stop)
+	<-done
+}
+
+func TestSnapshotPanicsWithOptimization(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Snapshot with UpdateInPlace did not panic")
+		}
+	}()
+	New[int]().Snapshot()
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRotationsPerInsert reproduces the paper's §3.3 measurement: with
+// weight 4, insertion performs roughly 0.35 rotations on average,
+// regardless of tree size.
+func TestRotationsPerInsert(t *testing.T) {
+	for _, n := range []int{10_000, 100_000} {
+		tr := New[int]()
+		rng := rand.New(rand.NewSource(1))
+		tr.ResetStats()
+		inserted := 0
+		for inserted < n {
+			if tr.Insert(rng.Uint64(), 0) {
+				inserted++
+			}
+		}
+		st := tr.Stats()
+		perInsert := float64(st.Rotations()) / float64(inserted)
+		if perInsert < 0.15 || perInsert > 0.60 {
+			t.Errorf("n=%d: %.3f rotations/insert, paper reports ~0.35", n, perInsert)
+		}
+		t.Logf("n=%d: %.3f rotations/insert (single %d, double %d)",
+			n, perInsert, st.SingleRotations, st.DoubleRotations)
+	}
+}
+
+// TestGarbagePerInsert reproduces the paper's §3.3 claim: with the
+// optimization, insertion allocates ~2 nodes and frees ~1 node on
+// average independent of tree size (O(1) garbage); without it, garbage
+// grows with tree depth (O(log n)).
+func TestGarbagePerInsert(t *testing.T) {
+	measure := func(updateInPlace bool, n int) (allocs, frees float64) {
+		tr := NewTree[int](Options{UpdateInPlace: updateInPlace})
+		rng := rand.New(rand.NewSource(2))
+		// Pre-populate so we measure steady-state behaviour at size n.
+		inserted := 0
+		for inserted < n {
+			if tr.Insert(rng.Uint64(), 0) {
+				inserted++
+			}
+		}
+		tr.ResetStats()
+		// Keep the probe small relative to n so the tree size (and hence
+		// path length) stays roughly constant during measurement.
+		probe := n / 10
+		if probe > 20000 {
+			probe = 20000
+		}
+		fresh := 0
+		for fresh < probe {
+			if tr.Insert(rng.Uint64(), 0) {
+				fresh++
+			}
+		}
+		st := tr.Stats()
+		return float64(st.Allocs) / float64(fresh), float64(st.Frees) / float64(fresh)
+	}
+
+	allocsOpt, freesOpt := measure(true, 200_000)
+	t.Logf("optimized:   %.2f allocs, %.2f frees per insert (paper: ~2, ~1)", allocsOpt, freesOpt)
+	if allocsOpt > 3.0 {
+		t.Errorf("optimized allocs/insert = %.2f, want O(1) (~2)", allocsOpt)
+	}
+	if freesOpt > 2.0 {
+		t.Errorf("optimized frees/insert = %.2f, want O(1) (~1)", freesOpt)
+	}
+
+	allocsNoOpt, _ := measure(false, 200_000)
+	depth := math.Log2(200_000)
+	t.Logf("unoptimized: %.2f allocs per insert (O(log n) ≈ %.1f)", allocsNoOpt, depth)
+	if allocsNoOpt < 2*allocsOpt {
+		t.Errorf("unoptimized allocs/insert = %.2f should far exceed optimized %.2f", allocsNoOpt, allocsOpt)
+	}
+
+	// O(1) vs O(log n): the optimized cost must not grow with n while
+	// the unoptimized cost must.
+	allocsOptSmall, _ := measure(true, 4000)
+	allocsNoOptSmall, _ := measure(false, 4000)
+	if allocsOpt > allocsOptSmall*1.5 {
+		t.Errorf("optimized allocs grew with n: %.2f (n=4k) -> %.2f (n=200k)", allocsOptSmall, allocsOpt)
+	}
+	if allocsNoOpt < allocsNoOptSmall*1.2 {
+		t.Errorf("unoptimized allocs did not grow with n: %.2f (n=4k) -> %.2f (n=200k)", allocsNoOptSmall, allocsNoOpt)
+	}
+}
+
+// TestLiveNodeAccounting: allocs - frees must equal the number of live
+// nodes, since every displaced node is passed to free exactly once.
+func TestLiveNodeAccounting(t *testing.T) {
+	for _, inPlace := range []bool{true, false} {
+		tr := NewTree[int](Options{UpdateInPlace: inPlace})
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 10000; i++ {
+			k := uint64(rng.Intn(4000))
+			if rng.Intn(2) == 0 {
+				tr.Insert(k, i)
+			} else {
+				tr.Delete(k)
+			}
+		}
+		st := tr.Stats()
+		live := int(st.Allocs - st.Frees)
+		if live != tr.Len() {
+			t.Errorf("inPlace=%v: allocs-frees = %d, live nodes = %d", inPlace, live, tr.Len())
+		}
+	}
+}
+
+// TestHeightLogarithmic confirms the weight-4 balance bound keeps height
+// within the BB[w] theoretical factor of log2(n).
+func TestHeightLogarithmic(t *testing.T) {
+	tr := New[int]()
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 17} {
+		for tr.Len() < n {
+			tr.Insert(rng.Uint64(), 0)
+		}
+		h := tr.Height()
+		// For weight 4 the size ratio per level is at least 6/5... use the
+		// loose bound h <= 3.5*log2(n) + 2 which BB[4] satisfies easily.
+		limit := int(3.5*math.Log2(float64(n))) + 2
+		if h > limit {
+			t.Errorf("n=%d: height %d > limit %d", n, h, limit)
+		}
+		t.Logf("n=%d height=%d (log2=%.1f)", n, h, math.Log2(float64(n)))
+	}
+}

@@ -1,0 +1,57 @@
+package locks
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SeqCount is a sequence counter (seqlock read side) in the style of the
+// kernel's seqcount_t. A writer brackets its updates with WriteBegin and
+// WriteEnd; a lock-free reader samples the counter with ReadBegin, reads
+// the protected data, and retries if ReadRetry reports interference.
+//
+// The VM system uses a SeqCount to maintain the per-address-space mmap
+// cache (§6) in designs that keep it enabled.
+type SeqCount struct {
+	seq atomic.Uint64
+}
+
+// ReadBegin returns a sequence token for a lock-free read-side critical
+// section, spinning past any in-progress writer.
+func (s *SeqCount) ReadBegin() uint64 {
+	for i := 0; ; i++ {
+		v := s.seq.Load()
+		if v&1 == 0 {
+			return v
+		}
+		if i%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// ReadRetry reports whether a writer ran (or is running) since ReadBegin
+// returned tok, in which case the reader must retry.
+func (s *SeqCount) ReadRetry(tok uint64) bool {
+	return s.seq.Load() != tok
+}
+
+// WriteBegin enters a write-side critical section. Callers must provide
+// their own mutual exclusion between writers.
+func (s *SeqCount) WriteBegin() {
+	v := s.seq.Add(1)
+	if v&1 == 0 {
+		panic("locks: concurrent SeqCount writers")
+	}
+}
+
+// WriteEnd leaves a write-side critical section.
+func (s *SeqCount) WriteEnd() {
+	v := s.seq.Add(1)
+	if v&1 != 0 {
+		panic("locks: SeqCount WriteEnd without WriteBegin")
+	}
+}
+
+// Sequence returns the raw sequence value (even when no writer is active).
+func (s *SeqCount) Sequence() uint64 { return s.seq.Load() }

@@ -1,0 +1,64 @@
+// Package locks provides the lock substrates used by the VM system:
+// a ticket spinlock (the kernel's page-directory and PTE locks), a
+// reader/writer semaphore modeled on Linux's rw_semaphore (mmap_sem),
+// and a sequence counter. All locks keep acquisition statistics so the
+// benchmark harness can report contention the way the paper does in §7.2.
+package locks
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SpinLock is a FIFO ticket spinlock. It is the analogue of the kernel
+// spinlocks protecting page-directory entries and page-table entries
+// (§4.1). The zero value is an unlocked SpinLock.
+type SpinLock struct {
+	next  atomic.Uint32
+	owner atomic.Uint32
+
+	acquisitions atomic.Uint64
+	contended    atomic.Uint64
+}
+
+// Lock acquires the spinlock, spinning (with cooperative yielding) until
+// the caller's ticket is served.
+func (l *SpinLock) Lock() {
+	t := l.next.Add(1) - 1
+	spins := 0
+	for l.owner.Load() != t {
+		spins++
+		if spins%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+	l.acquisitions.Add(1)
+	if spins > 0 {
+		l.contended.Add(1)
+	}
+}
+
+// TryLock attempts to acquire the lock without spinning. It reports
+// whether the lock was acquired.
+func (l *SpinLock) TryLock() bool {
+	o := l.owner.Load()
+	if l.next.Load() != o {
+		return false
+	}
+	if l.next.CompareAndSwap(o, o+1) {
+		l.acquisitions.Add(1)
+		return true
+	}
+	return false
+}
+
+// Unlock releases the spinlock. It must be called exactly once per Lock.
+func (l *SpinLock) Unlock() {
+	l.owner.Add(1)
+}
+
+// Stats reports how many times the lock was acquired and how many of
+// those acquisitions had to wait for another holder.
+func (l *SpinLock) Stats() (acquisitions, contended uint64) {
+	return l.acquisitions.Load(), l.contended.Load()
+}

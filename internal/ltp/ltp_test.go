@@ -1,0 +1,31 @@
+package ltp
+
+import (
+	"testing"
+
+	"bonsai/internal/vm"
+)
+
+// TestConformanceAllDesigns runs the full battery under every design —
+// the reproduction of the paper's LTP validation (§6).
+func TestConformanceAllDesigns(t *testing.T) {
+	for _, r := range RunAll(vm.Config{}) {
+		if r.Err != nil {
+			t.Errorf("%-45s %-22s FAIL: %v", r.Case, r.Design, r.Err)
+		}
+	}
+}
+
+// TestCaseNamesUnique guards the battery's reporting.
+func TestCaseNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Cases() {
+		if seen[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("battery too small: %d cases", len(seen))
+	}
+}

@@ -1,0 +1,144 @@
+// Package model is an exhaustive schedule checker for the key races in
+// the concurrent address-space design, reproducing the validation the
+// paper describes in §6: "exhaustive schedule checking of a model of
+// the VM system designed to capture key races".
+//
+// A scenario is a set of threads, each a sequence of atomic steps over
+// a small abstract state. The checker enumerates every interleaving
+// (including bounded retries) and asserts the design invariants in all
+// final states — most importantly the §4 failure case: "a race between
+// an unmap operation and a page fault could result in a page being
+// mapped in an otherwise unmapped region of memory."
+package model
+
+import "fmt"
+
+// Step is one atomic action of a modeled thread. It may block (return
+// false) to model lock acquisition; the scheduler will retry it later.
+type Step struct {
+	Name string
+	Run  func(s *State) (done bool)
+}
+
+// Thread is a named sequence of atomic steps.
+type Thread struct {
+	Name  string
+	Steps []Step
+}
+
+// State is the abstract VM state shared by the modeled threads. It
+// captures one VMA (possibly being split or unmapped), one page-table
+// entry, and the lock set relevant to the fault/unmap races.
+type State struct {
+	// Region state (Figure 10).
+	VMAStart, VMAEnd uint64 // current bounds of the primary VMA
+	VMADeleted       bool   // §5.2 deleted mark
+	TopVMA           bool   // the split's top VMA has been inserted
+	TopStart, TopEnd uint64 // bounds of the top VMA once inserted
+
+	// Page state for the single address under test.
+	PTEPresent bool // the PTE maps a page
+	PageFreed  bool // the page's frame was passed to the allocator
+	TableDead  bool // the leaf table was detached
+
+	// Locks.
+	PTELock  bool // per-page-table PTE lock
+	MmapSem  bool // mmap_sem (write mode; the model's faults are lock-free)
+	GracePer int  // completed grace periods since the page was delay-freed
+
+	// Scratch registers for the fault thread.
+	FaultVMA        int  // 0 = none, 1 = primary, 2 = top
+	FaultOK         bool // fault completed by installing/finding a mapping
+	FaultRetry      bool // fault gave up and went to the slow path
+	FaultFilled     bool // this fault installed the PTE
+	FaultReadActive bool // fault inside its RCU read-side section
+	HoldsPTE        bool // fault holds the PTE lock
+
+	// Violation latches.
+	FilledDeadTable bool // a PTE was stored into a detached table
+	UsedFreedPage   bool // a fill reused a frame freed too early
+	PageFreePending bool // frame queued for free, grace period pending
+
+	// History for invariant checking.
+	Trace []string
+}
+
+func (s *State) clone() *State {
+	c := *s
+	c.Trace = append([]string(nil), s.Trace...)
+	return &c
+}
+
+// Result summarizes a checker run.
+type Result struct {
+	Schedules  int // interleavings explored
+	Violations []string
+}
+
+// Check enumerates every interleaving of the threads' steps from the
+// given initial state and evaluates invariant on each final state. It
+// returns the number of schedules explored and any violations found.
+func Check(initial *State, threads []Thread, invariant func(*State) error) Result {
+	r := &Result{}
+	pcs := make([]int, len(threads))
+	explore(initial, threads, pcs, r, invariant)
+	return *r
+}
+
+func explore(s *State, threads []Thread, pcs []int, r *Result, invariant func(*State) error) {
+	anyRunnable := false
+	for ti := range threads {
+		if pcs[ti] >= len(threads[ti].Steps) {
+			continue
+		}
+		step := threads[ti].Steps[pcs[ti]]
+		ns := s.clone()
+		done := step.Run(ns)
+		if !done {
+			continue // blocked in this state; another thread must move
+		}
+		anyRunnable = true
+		ns.Trace = append(ns.Trace, threads[ti].Name+":"+step.Name)
+		npcs := append([]int(nil), pcs...)
+		npcs[ti]++
+		explore(ns, threads, npcs, r, invariant)
+	}
+	if anyRunnable {
+		return
+	}
+	// All threads finished or permanently blocked. A blocked thread in a
+	// final state is a deadlock — report it.
+	for ti := range threads {
+		if pcs[ti] < len(threads[ti].Steps) {
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("deadlock: %s blocked at %q after %v",
+					threads[ti].Name, threads[ti].Steps[pcs[ti]].Name, s.Trace))
+			r.Schedules++
+			return
+		}
+	}
+	r.Schedules++
+	if err := invariant(s); err != nil {
+		r.Violations = append(r.Violations, fmt.Sprintf("%v after %v", err, s.Trace))
+	}
+}
+
+// --- Step constructors shared by the scenarios ---
+
+// lockPTE blocks until the PTE lock is free, then takes it.
+func lockPTE() Step {
+	return Step{"lock-pte", func(s *State) bool {
+		if s.PTELock {
+			return false
+		}
+		s.PTELock = true
+		return true
+	}}
+}
+
+func unlockPTE() Step {
+	return Step{"unlock-pte", func(s *State) bool {
+		s.PTELock = false
+		return true
+	}}
+}

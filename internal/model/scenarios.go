@@ -1,0 +1,240 @@
+package model
+
+import "fmt"
+
+// Scratch fields used by the scenario threads are kept in State; these
+// constants name the fault's target address and the primary VMA bounds
+// used by every scenario.
+const (
+	addr     = 5  // page the fault targets (scenario-dependent)
+	topAddr  = 8  // page in the top half for the split scenario
+	vmaStart = 0  //
+	vmaEnd   = 10 // primary VMA covers [0, 10)
+)
+
+// scratch extends State via fields; declared here to keep model.go generic.
+// (Fields live on State for cloning simplicity.)
+
+// FaultThread models the pure-RCU fault fast path of §5.2/§5.3 for
+// target. withRecheck selects whether the §5.2 double check under the
+// PTE lock is performed; the broken variant exists to prove the checker
+// detects the fill race when the check is omitted.
+func FaultThread(target uint64, withRecheck bool) Thread {
+	lookup := func(s *State) int {
+		if !s.VMADeleted && s.VMAStart <= target && target < s.VMAEnd {
+			return 1
+		}
+		if s.TopVMA && s.TopStart <= target && target < s.TopEnd {
+			return 2
+		}
+		return 0
+	}
+	contains := func(s *State, which int) bool {
+		switch which {
+		case 1:
+			return !s.VMADeleted && s.VMAStart <= target && target < s.VMAEnd
+		case 2:
+			return s.TopVMA && s.TopStart <= target && target < s.TopEnd
+		}
+		return false
+	}
+	steps := []Step{
+		{"rcu-begin", func(s *State) bool {
+			s.FaultReadActive = true
+			return true
+		}},
+		{"lookup-vma", func(s *State) bool {
+			s.FaultVMA = lookup(s)
+			if s.FaultVMA == 0 {
+				s.FaultRetry = true
+			}
+			return true
+		}},
+		lockPTEIf(func(s *State) bool { return !s.FaultRetry }),
+		{"recheck-and-fill", func(s *State) bool {
+			if s.FaultRetry {
+				return true
+			}
+			if withRecheck && !contains(s, s.FaultVMA) {
+				s.FaultRetry = true
+				return true
+			}
+			if s.PTEPresent {
+				s.FaultOK = true
+				return true
+			}
+			if s.TableDead {
+				s.FilledDeadTable = true
+			}
+			if s.PageFreed {
+				s.UsedFreedPage = true
+			}
+			s.PTEPresent = true
+			s.FaultFilled = true
+			s.FaultOK = true
+			return true
+		}},
+		unlockPTEIf(),
+		{"rcu-end", func(s *State) bool {
+			s.FaultReadActive = false
+			return true
+		}},
+		{"slow-retry", func(s *State) bool {
+			if !s.FaultRetry {
+				return true
+			}
+			// Retry with mmap_sem held: serialized against the mapping
+			// operation, so it runs as one atomic step.
+			if s.MmapSem {
+				return false // block until the mapping op finishes
+			}
+			s.FaultRetry = false
+			if which := lookup(s); which != 0 {
+				if !s.PTEPresent {
+					s.PTEPresent = true
+					s.FaultFilled = true
+				}
+				s.FaultOK = true
+			} // else: segfault — FaultOK stays false
+			return true
+		}},
+	}
+	name := "fault"
+	if !withRecheck {
+		name = "fault-norecheck"
+	}
+	return Thread{Name: name, Steps: steps}
+}
+
+func lockPTEIf(need func(*State) bool) Step {
+	return Step{"lock-pte", func(s *State) bool {
+		if !need(s) {
+			return true
+		}
+		if s.PTELock {
+			return false
+		}
+		s.PTELock = true
+		s.HoldsPTE = true
+		return true
+	}}
+}
+
+func unlockPTEIf() Step {
+	return Step{"unlock-pte", func(s *State) bool {
+		if s.HoldsPTE {
+			s.PTELock = false
+			s.HoldsPTE = false
+		}
+		return true
+	}}
+}
+
+// UnmapFullThread models munmap of the whole primary VMA: mark deleted,
+// then clear and detach the page table under the PTE lock, then free
+// the page after a grace period (which must wait for the fault's read
+// section).
+func UnmapFullThread() Thread {
+	return Thread{Name: "munmap", Steps: []Step{
+		{"sem-lock", func(s *State) bool {
+			if s.MmapSem {
+				return false
+			}
+			s.MmapSem = true
+			return true
+		}},
+		{"mark-deleted", func(s *State) bool {
+			s.VMADeleted = true
+			return true
+		}},
+		lockPTE(),
+		{"clear-and-detach", func(s *State) bool {
+			if s.PTEPresent {
+				s.PTEPresent = false
+				s.PageFreePending = true
+			}
+			s.TableDead = true
+			return true
+		}},
+		unlockPTE(),
+		{"sem-unlock", func(s *State) bool {
+			s.MmapSem = false
+			return true
+		}},
+		{"grace-period", func(s *State) bool {
+			if s.FaultReadActive {
+				return false // RCU: wait for the reader
+			}
+			s.GracePer++
+			if s.PageFreePending {
+				s.PageFreePending = false
+				s.PageFreed = true
+			}
+			return true
+		}},
+	}}
+}
+
+// SplitThread models Figure 10's munmap-middle: shrink the primary VMA
+// to [0, splitLo) at time 2, insert the top VMA [splitHi, 10) at time
+// 3. The top range is transiently unmapped between the two steps.
+func SplitThread(splitLo, splitHi uint64) Thread {
+	return Thread{Name: "split", Steps: []Step{
+		{"sem-lock", func(s *State) bool {
+			if s.MmapSem {
+				return false
+			}
+			s.MmapSem = true
+			return true
+		}},
+		{"adjust-bound", func(s *State) bool { // time 2
+			s.VMAEnd = splitLo
+			return true
+		}},
+		{"insert-top", func(s *State) bool { // time 3
+			s.TopVMA = true
+			s.TopStart, s.TopEnd = splitHi, vmaEnd
+			return true
+		}},
+		{"sem-unlock", func(s *State) bool {
+			s.MmapSem = false
+			return true
+		}},
+	}}
+}
+
+// --- Invariants ---
+
+// NoMappedPageInUnmappedRegion is §4's design-race failure: after all
+// threads finish, a present PTE must be covered by a live VMA.
+func NoMappedPageInUnmappedRegion(target uint64) func(*State) error {
+	return func(s *State) error {
+		covered := (!s.VMADeleted && s.VMAStart <= target && target < s.VMAEnd) ||
+			(s.TopVMA && s.TopStart <= target && target < s.TopEnd)
+		if s.PTEPresent && !covered {
+			return fmt.Errorf("page %d mapped in unmapped region", target)
+		}
+		if s.FilledDeadTable {
+			return fmt.Errorf("PTE filled into detached page table")
+		}
+		if s.UsedFreedPage {
+			return fmt.Errorf("fault reused a frame freed before its grace period")
+		}
+		return nil
+	}
+}
+
+// FaultMustSucceed asserts the fault completed with a mapping: used in
+// the split scenario, where the target address is mapped before and
+// after the operation, so segfaulting it would be a lost mapping.
+func FaultMustSucceed(inner func(*State) error) func(*State) error {
+	return func(s *State) error {
+		if err := inner(s); err != nil {
+			return err
+		}
+		if !s.FaultOK {
+			return fmt.Errorf("fault on an always-mapped address failed")
+		}
+		return nil
+	}
+}

@@ -1,0 +1,182 @@
+package pagetable
+
+import (
+	"bonsai/internal/physmem"
+)
+
+// FillResult reports what FillOrUpgrade did under the PTE lock.
+type FillResult int
+
+// FillOrUpgrade outcomes.
+const (
+	// FillRecheckFailed: the §5.2 double check failed; retry with
+	// locking.
+	FillRecheckFailed FillResult = iota
+	// FillInstalled: this call installed a fresh PTE.
+	FillInstalled
+	// FillAlreadyMapped: a usable PTE was already present.
+	FillAlreadyMapped
+	// FillUpgraded: this call broke copy-on-write and made the PTE
+	// writable.
+	FillUpgraded
+	// FillNeedsUpgrade: the PTE is copy-on-write and the caller
+	// provided no makeCopy (the RCU fast path, which defers COW to the
+	// retry-with-lock slow path, §6).
+	FillNeedsUpgrade
+)
+
+// FillOrUpgrade services a fault for addr under the leaf table's PTE
+// lock. recheck is the §5.2 double check. For an absent entry it
+// installs makeFrame's PTE. For a present entry it succeeds unless the
+// access is a write and the PTE is read-only copy-on-write; then it
+// stores makeCopy's replacement (breaking COW), or reports
+// FillNeedsUpgrade when makeCopy is nil.
+func (t *Tables) FillOrUpgrade(addr uint64, pt *PageTable, write bool,
+	recheck func() bool,
+	makeFrame func() (uint64, error),
+	makeCopy func(old uint64) (uint64, error)) (FillResult, error) {
+	idx := index(addr, 1)
+	pt.Lock()
+	defer pt.Unlock()
+	if recheck != nil && !recheck() {
+		return FillRecheckFailed, nil
+	}
+	pte := pt.PTE(idx)
+	if pte&PTEPresent == 0 {
+		npte, err := makeFrame()
+		if err != nil {
+			return FillRecheckFailed, err
+		}
+		pt.SetPTE(idx, npte)
+		t.ptesFilled.Add(1)
+		return FillInstalled, nil
+	}
+	if !write || pte&PTEWritable != 0 {
+		return FillAlreadyMapped, nil
+	}
+	if pte&PTECow == 0 {
+		// Present, read-only, not copy-on-write, in a mapping the
+		// caller validated as writable: the page was write-protected by
+		// an mprotect downgrade and the region has since been made
+		// writable again. The frame is exclusively owned (fork marks
+		// every shared private page COW), so upgrade in place.
+		pt.SetPTE(idx, pte|PTEWritable)
+		return FillUpgraded, nil
+	}
+	if makeCopy == nil {
+		return FillNeedsUpgrade, nil
+	}
+	npte, err := makeCopy(pte)
+	if err != nil {
+		return FillRecheckFailed, err
+	}
+	pt.SetPTE(idx, npte)
+	t.ptesFilled.Add(1)
+	return FillUpgraded, nil
+}
+
+// CloneRange copies the present PTEs of [lo, hi) into dst, implementing
+// fork. For each present entry it calls onShare(frame) (the caller
+// takes a frame reference). When cow is true (private mappings), every
+// source entry — writable or not — is downgraded in place to read-only
+// copy-on-write under the source PTE lock, so racing faults observe
+// either the old or the new entry, and the child receives the same COW
+// entry; marking even read-only pages COW keeps a later mprotect-to-
+// writable from silently sharing stores between the two spaces. When
+// cow is false (Shared mappings) entries are copied verbatim.
+func (t *Tables) CloneRange(cpu int, dst *Tables, lo, hi uint64, cow bool,
+	onShare func(f physmem.Frame)) error {
+	if lo >= hi {
+		return nil
+	}
+	type entry struct {
+		addr uint64
+		pte  uint64
+	}
+	var pending []entry
+
+	for base := lo &^ (TableSpan - 1); base < hi; base += TableSpan {
+		pt := t.WalkTable(base)
+		if pt == nil {
+			continue
+		}
+		clampLo, clampHi := base, base+TableSpan
+		if clampLo < lo {
+			clampLo = lo
+		}
+		if clampHi > hi {
+			clampHi = hi
+		}
+		first, last := index(clampLo, 1), index(clampHi-1, 1)
+		pt.Lock()
+		for i := first; i <= last; i++ {
+			pte := pt.PTE(i)
+			if pte&PTEPresent == 0 {
+				continue
+			}
+			childPTE := pte
+			if cow {
+				downgraded := (pte &^ PTEWritable) | PTECow
+				if downgraded != pte {
+					pt.SetPTE(i, downgraded)
+				}
+				childPTE = downgraded
+			}
+			onShare(PTEFrame(pte))
+			addr := base + uint64(i)<<PageShift
+			pending = append(pending, entry{addr, childPTE})
+		}
+		pt.Unlock()
+	}
+
+	for _, e := range pending {
+		dpt, err := dst.EnsureTable(cpu, e.addr)
+		if err != nil {
+			return err
+		}
+		dpt.Lock()
+		dpt.SetPTE(index(e.addr, 1), e.pte)
+		dpt.Unlock()
+		dst.ptesFilled.Add(1)
+	}
+	return nil
+}
+
+// ReleaseRoot retires the root page directory itself (address-space
+// teardown). The tree must already be empty of attached children; any
+// further use of the Tables is invalid.
+func (t *Tables) ReleaseRoot(cpu int) {
+	t.dirLock.Lock()
+	t.root.dead.Store(true)
+	t.dirLock.Unlock()
+	t.releaseDirectory(cpu, t.root)
+}
+
+// PTELockStats aggregates the PTE-lock acquisition counters across the
+// attached leaf tables (or the shared lock under the SinglePTELock
+// ablation), for contention reporting.
+func (t *Tables) PTELockStats() (acquisitions, contended uint64) {
+	if t.cfg.SinglePTELock {
+		return t.sharedPTELock.Stats()
+	}
+	var walk func(d *directory)
+	walk = func(d *directory) {
+		if d.level == 2 {
+			for i := range d.tables {
+				if pt := d.tables[i].Load(); pt != nil {
+					a, c := pt.own.Stats()
+					acquisitions += a
+					contended += c
+				}
+			}
+			return
+		}
+		for i := range d.dirs {
+			if child := d.dirs[i].Load(); child != nil {
+				walk(child)
+			}
+		}
+	}
+	walk(t.root)
+	return acquisitions, contended
+}

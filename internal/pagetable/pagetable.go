@@ -1,0 +1,490 @@
+// Package pagetable implements an x86-64-shaped four-level page table
+// (Figure 1): a radix tree of 512-entry tables mapping 48-bit virtual
+// addresses to physical frames. It reproduces the kernel's concurrency
+// protocol from §4.1 and §5.2:
+//
+//   - Lock-free walks: page-fault handlers follow table pointers with no
+//     locks, which is safe because tables are only freed after an RCU
+//     grace period (Figure 11).
+//   - Double-check table allocation: a fault that sees an empty
+//     directory entry optimistically allocates a table, then takes the
+//     per-address-space page-directory lock, re-checks the entry, and
+//     either installs its table or discards it.
+//   - Per-page-table PTE locks: filling an entry takes the leaf table's
+//     spinlock, so only faults within the same 2 MB region ever contend.
+//   - RCU-delayed freeing: the recursive unmap scan clears entries under
+//     the PTE locks and retires tables and frames through an RCU domain.
+package pagetable
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"bonsai/internal/locks"
+	"bonsai/internal/physmem"
+	"bonsai/internal/rcu"
+)
+
+// Virtual address geometry (x86-64 four-level paging).
+const (
+	PageShift       = 12
+	PageSize        = 1 << PageShift // 4096
+	EntryBits       = 9
+	EntriesPerTable = 1 << EntryBits // 512
+	Levels          = 4
+	// AddressBits is the number of translated virtual address bits.
+	AddressBits = PageShift + Levels*EntryBits // 48
+	// MaxAddress is one past the highest mappable virtual address.
+	MaxAddress = uint64(1) << AddressBits
+	// TableSpan is the virtual span of one leaf page table (2 MB).
+	TableSpan = uint64(EntriesPerTable) << PageShift
+)
+
+// PTE encoding: frame number shifted left by PageShift, OR'd with flag
+// bits in the low 12 bits — the same layout as hardware PTEs.
+const (
+	PTEPresent  uint64 = 1 << 0
+	PTEWritable uint64 = 1 << 1
+	// PTECow marks a copy-on-write page: present, read-only, shared
+	// with another address space until the first write fault copies it
+	// (the hard case §6 handles with retry-with-lock).
+	PTECow uint64 = 1 << 2
+)
+
+// MakePTE builds a present PTE for frame with the given writability.
+func MakePTE(f physmem.Frame, writable bool) uint64 {
+	pte := uint64(f)<<PageShift | PTEPresent
+	if writable {
+		pte |= PTEWritable
+	}
+	return pte
+}
+
+// PTEFrame extracts the frame from a present PTE.
+func PTEFrame(pte uint64) physmem.Frame {
+	return physmem.Frame(pte >> PageShift)
+}
+
+// MakeCowPTE builds a present, read-only, copy-on-write PTE for frame.
+func MakeCowPTE(f physmem.Frame) uint64 {
+	return uint64(f)<<PageShift | PTEPresent | PTECow
+}
+
+// index returns the table index for addr at the given level (1 = leaf).
+func index(addr uint64, level int) int {
+	return int(addr>>(PageShift+uint(level-1)*EntryBits)) & (EntriesPerTable - 1)
+}
+
+// levelSpan is the virtual span covered by one entry at the given level.
+func levelSpan(level int) uint64 {
+	return uint64(1) << (PageShift + uint(level-1)*EntryBits)
+}
+
+// PageTable is a leaf (level-1) table: 512 PTEs plus the per-table PTE
+// lock from §4.1 ("a separate PTE lock per page table to eliminate lock
+// contention for all but nearby page faults").
+type PageTable struct {
+	lock  *locks.SpinLock
+	own   locks.SpinLock // used unless the ablation shares a single lock
+	frame physmem.Frame  // the frame this table itself occupies
+	dead  atomic.Bool    // set when detached by an unmap scan
+	ptes  [EntriesPerTable]atomic.Uint64
+}
+
+// Lock acquires the table's PTE lock.
+func (pt *PageTable) Lock() { pt.lock.Lock() }
+
+// Unlock releases the table's PTE lock.
+func (pt *PageTable) Unlock() { pt.lock.Unlock() }
+
+// PTE returns the entry at the given leaf index.
+func (pt *PageTable) PTE(idx int) uint64 { return pt.ptes[idx].Load() }
+
+// SetPTE stores a PTE. The caller must hold the table's PTE lock. It
+// panics if the table has been detached by an unmap scan: the VM
+// layer's fill-race double check (§5.2) is required to make that
+// impossible, so a panic here means the protocol was violated.
+func (pt *PageTable) SetPTE(idx int, pte uint64) {
+	if pt.dead.Load() {
+		panic("pagetable: PTE fill into detached page table (fill-race protocol violated)")
+	}
+	pt.ptes[idx].Store(pte)
+}
+
+// Dead reports whether the table has been detached.
+func (pt *PageTable) Dead() bool { return pt.dead.Load() }
+
+// directory is an upper-level node (levels 2..4). Exactly one of dirs
+// and tables is non-nil depending on the level. dead is set (under the
+// page-directory lock) when an unmap scan detaches the directory, so a
+// racing fault about to install a child re-checks and restarts instead
+// of publishing into a garbage subtree — the paper accepts the
+// resulting leak ("at best, these will never be freed", §5.2); we close
+// it so the test suite can assert zero frame leaks.
+type directory struct {
+	level  int
+	frame  physmem.Frame
+	dead   atomic.Bool
+	dirs   []atomic.Pointer[directory] // level 3, 4
+	tables []atomic.Pointer[PageTable] // level 2
+}
+
+// Config configures a Tables.
+type Config struct {
+	// SinglePTELock makes every leaf table share one PTE lock — the
+	// pre-fine-grained-locking kernel configuration, used as an
+	// ablation (§2 notes recent kernels moved to per-table locks).
+	SinglePTELock bool
+}
+
+// Tables is the page-table tree of one address space.
+type Tables struct {
+	cfg   Config
+	root  *directory
+	alloc *physmem.Allocator
+	dom   *rcu.Domain
+
+	// dirLock is the per-process page-directory lock protecting the
+	// insertion of new directories and tables (§4.1).
+	dirLock locks.SpinLock
+
+	sharedPTELock locks.SpinLock // ablation: shared by all leaf tables
+
+	tablesLive   atomic.Int64
+	tablesAlloc  atomic.Uint64
+	tablesFreed  atomic.Uint64
+	discarded    atomic.Uint64 // optimistic allocations lost the double-check race
+	ptesFilled   atomic.Uint64
+	ptesCleared  atomic.Uint64
+	dirDoubleChk atomic.Uint64 // double-check lock acquisitions
+}
+
+// New returns an empty four-level page-table tree whose table frames
+// come from alloc and whose deferred frees go through dom.
+func New(alloc *physmem.Allocator, dom *rcu.Domain, cfg Config) (*Tables, error) {
+	t := &Tables{cfg: cfg, alloc: alloc, dom: dom}
+	root, err := t.newDirectory(0, Levels)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+func (t *Tables) newDirectory(cpu, level int) (*directory, error) {
+	f, err := t.alloc.Alloc(cpu)
+	if err != nil {
+		return nil, err
+	}
+	d := &directory{level: level, frame: f}
+	if level == 2 {
+		d.tables = make([]atomic.Pointer[PageTable], EntriesPerTable)
+	} else {
+		d.dirs = make([]atomic.Pointer[directory], EntriesPerTable)
+	}
+	t.tablesAlloc.Add(1)
+	t.tablesLive.Add(1)
+	return d, nil
+}
+
+func (t *Tables) newPageTable(cpu int) (*PageTable, error) {
+	f, err := t.alloc.Alloc(cpu)
+	if err != nil {
+		return nil, err
+	}
+	pt := &PageTable{frame: f}
+	if t.cfg.SinglePTELock {
+		pt.lock = &t.sharedPTELock
+	} else {
+		pt.lock = &pt.own
+	}
+	t.tablesAlloc.Add(1)
+	t.tablesLive.Add(1)
+	return pt, nil
+}
+
+func (t *Tables) releaseDirectory(cpu int, d *directory) {
+	t.tablesFreed.Add(1)
+	t.tablesLive.Add(-1)
+	t.dom.Defer(func() { t.alloc.FreeRemote(d.frame) })
+}
+
+func (t *Tables) releasePageTable(cpu int, pt *PageTable) {
+	t.tablesFreed.Add(1)
+	t.tablesLive.Add(-1)
+	t.dom.Defer(func() { t.alloc.FreeRemote(pt.frame) })
+}
+
+func checkAddr(addr uint64) {
+	if addr >= MaxAddress {
+		panic(fmt.Sprintf("pagetable: address %#x beyond %d-bit space", addr, AddressBits))
+	}
+}
+
+// Walk performs a lock-free page-table walk (the software analogue of
+// the hardware walker) and returns the PTE mapping addr, or ok=false if
+// any level is missing. Callers racing with unmap must run inside an
+// RCU read-side critical section.
+func (t *Tables) Walk(addr uint64) (pte uint64, ok bool) {
+	pt := t.WalkTable(addr)
+	if pt == nil {
+		return 0, false
+	}
+	pte = pt.PTE(index(addr, 1))
+	if pte&PTEPresent == 0 {
+		return 0, false
+	}
+	return pte, true
+}
+
+// WalkTable descends lock-free to the leaf table covering addr,
+// returning nil if any level is missing.
+func (t *Tables) WalkTable(addr uint64) *PageTable {
+	checkAddr(addr)
+	d := t.root
+	for d.level > 2 {
+		d = d.dirs[index(addr, d.level)].Load()
+		if d == nil {
+			return nil
+		}
+	}
+	return d.tables[index(addr, 2)].Load()
+}
+
+// EnsureTable returns the leaf table covering addr, allocating missing
+// levels with the optimistic double-check protocol from §4.1: allocate
+// outside the page-directory lock, then take the lock only to re-check
+// and install, discarding the allocation if a concurrent fault won.
+func (t *Tables) EnsureTable(cpu int, addr uint64) (*PageTable, error) {
+	checkAddr(addr)
+restart:
+	d := t.root
+	for d.level > 2 {
+		idx := index(addr, d.level)
+		next := d.dirs[idx].Load()
+		if next == nil {
+			// Optimistically allocate before taking the lock.
+			fresh, err := t.newDirectory(cpu, d.level-1)
+			if err != nil {
+				return nil, err
+			}
+			t.dirLock.Lock()
+			t.dirDoubleChk.Add(1)
+			switch cur := d.dirs[idx].Load(); {
+			case d.dead.Load():
+				// An unmap scan detached d while we descended; restart
+				// from the root so we never publish into a dead subtree.
+				t.dirLock.Unlock()
+				t.discardDirectory(cpu, fresh)
+				goto restart
+			case cur != nil:
+				next = cur // lost the double-check race; discard ours
+				t.dirLock.Unlock()
+				t.discardDirectory(cpu, fresh)
+			default:
+				d.dirs[idx].Store(fresh)
+				t.dirLock.Unlock()
+				next = fresh
+			}
+		}
+		d = next
+	}
+	idx := index(addr, 2)
+	pt := d.tables[idx].Load()
+	if pt == nil {
+		fresh, err := t.newPageTable(cpu)
+		if err != nil {
+			return nil, err
+		}
+		t.dirLock.Lock()
+		t.dirDoubleChk.Add(1)
+		switch cur := d.tables[idx].Load(); {
+		case d.dead.Load():
+			t.dirLock.Unlock()
+			t.discardPageTable(cpu, fresh)
+			goto restart
+		case cur != nil:
+			pt = cur
+			t.dirLock.Unlock()
+			t.discardPageTable(cpu, fresh)
+		default:
+			d.tables[idx].Store(fresh)
+			t.dirLock.Unlock()
+			pt = fresh
+		}
+	}
+	return pt, nil
+}
+
+// discardDirectory returns an optimistically allocated directory that
+// lost the double-check race. It was never published, so its frame can
+// be freed immediately.
+func (t *Tables) discardDirectory(cpu int, d *directory) {
+	t.discarded.Add(1)
+	t.tablesLive.Add(-1)
+	t.tablesFreed.Add(1)
+	t.alloc.Free(cpu, d.frame)
+}
+
+func (t *Tables) discardPageTable(cpu int, pt *PageTable) {
+	t.discarded.Add(1)
+	t.tablesLive.Add(-1)
+	t.tablesFreed.Add(1)
+	t.alloc.Free(cpu, pt.frame)
+}
+
+// FillPTE installs a PTE for addr under the leaf table's PTE lock,
+// running the caller's recheck while the lock is held (the fill-race
+// double check of §5.2). It returns:
+//
+//   - installed=true if this call filled the entry;
+//   - installed=false, ok=true if a concurrent fault already filled it;
+//   - ok=false if recheck failed (the caller must retry with locking).
+//
+// makeFrame is invoked only when the entry needs filling; it allocates
+// and initializes the page.
+func (t *Tables) FillPTE(addr uint64, pt *PageTable, recheck func() bool,
+	makeFrame func() (uint64, error)) (installed, ok bool, err error) {
+	idx := index(addr, 1)
+	pt.Lock()
+	defer pt.Unlock()
+	if recheck != nil && !recheck() {
+		return false, false, nil
+	}
+	if pt.PTE(idx)&PTEPresent != 0 {
+		return false, true, nil // concurrent fault won; nothing to do
+	}
+	pte, err := makeFrame()
+	if err != nil {
+		return false, false, err
+	}
+	pt.SetPTE(idx, pte)
+	t.ptesFilled.Add(1)
+	return true, true, nil
+}
+
+// UnmapRange implements the recursive unmap scan of Figure 11 for
+// [lo, hi): it clears every present PTE in the range under the PTE
+// locks (passing each cleared PTE to onPage so the caller can retire
+// the frame), frees page tables and directories that the range fully
+// covers, and clears the directory entries pointing at them under the
+// page-directory lock. All structure frees are RCU-delayed.
+func (t *Tables) UnmapRange(cpu int, lo, hi uint64, onPage func(pte uint64)) {
+	checkAddr(lo)
+	if hi != MaxAddress {
+		checkAddr(hi - 1)
+	}
+	if lo >= hi {
+		return
+	}
+	t.unmapDir(cpu, t.root, lo, hi, onPage)
+}
+
+// unmapDir unmaps [lo, hi) within d's span. lo and hi are absolute
+// addresses already clamped to d's span by the caller.
+func (t *Tables) unmapDir(cpu int, d *directory, lo, hi uint64, onPage func(uint64)) {
+	span := levelSpan(d.level)
+	// Base virtual address of d's span.
+	dirBase := lo &^ (span*uint64(EntriesPerTable) - 1)
+	for idx := index(lo, d.level); idx < EntriesPerTable; idx++ {
+		base := dirBase + uint64(idx)*span
+		if base >= hi {
+			break
+		}
+		clampLo, clampHi := base, base+span
+		if clampLo < lo {
+			clampLo = lo
+		}
+		if clampHi > hi {
+			clampHi = hi
+		}
+		full := clampLo == base && clampHi == base+span
+
+		if d.level == 2 {
+			pt := d.tables[idx].Load()
+			if pt == nil {
+				continue
+			}
+			t.clearPTEs(pt, clampLo, clampHi, full, onPage)
+			if full {
+				t.dirLock.Lock()
+				d.tables[idx].Store(nil)
+				t.dirLock.Unlock()
+				t.releasePageTable(cpu, pt)
+			}
+		} else {
+			child := d.dirs[idx].Load()
+			if child == nil {
+				continue
+			}
+			t.unmapDir(cpu, child, clampLo, clampHi, onPage)
+			if full {
+				t.dirLock.Lock()
+				child.dead.Store(true)
+				d.dirs[idx].Store(nil)
+				t.dirLock.Unlock()
+				t.releaseDirectory(cpu, child)
+			}
+		}
+	}
+}
+
+// clearPTEs clears the PTEs of pt covering [lo, hi) under the PTE lock.
+// When detach is true the whole table is being freed, so it is marked
+// dead inside the same critical section; any fault that subsequently
+// acquires this lock will observe its VMA recheck fail (§5.2).
+func (t *Tables) clearPTEs(pt *PageTable, lo, hi uint64, detach bool, onPage func(uint64)) {
+	first, last := index(lo, 1), index(hi-1, 1)
+	pt.Lock()
+	for i := first; i <= last; i++ {
+		pte := pt.PTE(i)
+		if pte&PTEPresent == 0 {
+			continue
+		}
+		pt.ptes[i].Store(0)
+		t.ptesCleared.Add(1)
+		if onPage != nil {
+			onPage(pte)
+		}
+	}
+	if detach {
+		pt.dead.Store(true)
+	}
+	pt.Unlock()
+}
+
+// Stats is a snapshot of page-table counters.
+type Stats struct {
+	TablesLive     int64  // directories + leaf tables currently attached
+	TablesAlloc    uint64 // total allocated (including discarded)
+	TablesFreed    uint64
+	Discarded      uint64 // lost double-check races
+	PTEsFilled     uint64
+	PTEsCleared    uint64
+	DirDoubleCheck uint64
+}
+
+// Stats returns a snapshot of the tree's counters.
+func (t *Tables) Stats() Stats {
+	return Stats{
+		TablesLive:     t.tablesLive.Load(),
+		TablesAlloc:    t.tablesAlloc.Load(),
+		TablesFreed:    t.tablesFreed.Load(),
+		Discarded:      t.discarded.Load(),
+		PTEsFilled:     t.ptesFilled.Load(),
+		PTEsCleared:    t.ptesCleared.Load(),
+		DirDoubleCheck: t.dirDoubleChk.Load(),
+	}
+}
+
+// CountPresent returns the number of present PTEs in [lo, hi). It is a
+// test helper and takes no locks.
+func (t *Tables) CountPresent(lo, hi uint64) int {
+	n := 0
+	for addr := lo; addr < hi; addr += PageSize {
+		if _, ok := t.Walk(addr); ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,36 @@
+package pagetable
+
+// WriteProtectRange clears the writable bit of every present PTE in
+// [lo, hi) under the PTE locks, for mprotect downgrades. Upgrades need
+// no PTE pass: write faults re-enable writability on demand through
+// FillOrUpgrade. It returns the number of entries downgraded.
+func (t *Tables) WriteProtectRange(lo, hi uint64) (downgraded int) {
+	if lo >= hi {
+		return 0
+	}
+	for base := lo &^ (TableSpan - 1); base < hi; base += TableSpan {
+		pt := t.WalkTable(base)
+		if pt == nil {
+			continue
+		}
+		clampLo, clampHi := base, base+TableSpan
+		if clampLo < lo {
+			clampLo = lo
+		}
+		if clampHi > hi {
+			clampHi = hi
+		}
+		first, last := index(clampLo, 1), index(clampHi-1, 1)
+		pt.Lock()
+		for i := first; i <= last; i++ {
+			pte := pt.PTE(i)
+			if pte&PTEPresent == 0 || pte&PTEWritable == 0 {
+				continue
+			}
+			pt.SetPTE(i, pte&^PTEWritable)
+			downgraded++
+		}
+		pt.Unlock()
+	}
+	return downgraded
+}

@@ -1,0 +1,474 @@
+// Package rbtree implements a classic mutable red-black tree, the
+// structure stock Linux uses for the per-process region tree (§2). It is
+// the baseline the BONSAI tree is compared against: correct only under
+// external locking (readers included), because insert and delete rotate
+// subtrees in place and a lock-free lookup racing with a rotation can
+// miss elements (§5.3).
+//
+// Keys are uint64 region start addresses, matching internal/core.
+package rbtree
+
+import "fmt"
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+type node[V any] struct {
+	left, right, parent *node[V]
+	color               color
+	key                 uint64
+	val                 V
+}
+
+// Tree is a mutable red-black tree mapping uint64 keys to values. It
+// performs no internal synchronization; callers must hold a lock (read
+// or write as appropriate) around every operation, as Linux holds
+// mmap_sem around its region tree.
+type Tree[V any] struct {
+	root  *node[V]
+	count int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] { return &Tree[V]{} }
+
+// Len returns the number of entries.
+func (t *Tree[V]) Len() int { return t.count }
+
+// Lookup reports the value stored at key.
+func (t *Tree[V]) Lookup(key uint64) (V, bool) {
+	n := t.root
+	for n != nil && n.key != key {
+		if key < n.key {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Contains reports whether key is present.
+func (t *Tree[V]) Contains(key uint64) bool {
+	_, ok := t.Lookup(key)
+	return ok
+}
+
+// Floor returns the entry with the greatest key <= key.
+func (t *Tree[V]) Floor(key uint64) (k uint64, v V, ok bool) {
+	n := t.root
+	var best *node[V]
+	for n != nil {
+		switch {
+		case n.key == key:
+			return n.key, n.val, true
+		case n.key < key:
+			best = n
+			n = n.right
+		default:
+			n = n.left
+		}
+	}
+	if best == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return best.key, best.val, true
+}
+
+// Ceiling returns the entry with the smallest key >= key.
+func (t *Tree[V]) Ceiling(key uint64) (k uint64, v V, ok bool) {
+	n := t.root
+	var best *node[V]
+	for n != nil {
+		switch {
+		case n.key == key:
+			return n.key, n.val, true
+		case n.key > key:
+			best = n
+			n = n.left
+		default:
+			n = n.right
+		}
+	}
+	if best == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return best.key, best.val, true
+}
+
+// Min returns the smallest entry.
+func (t *Tree[V]) Min() (k uint64, v V, ok bool) {
+	if t.root == nil {
+		var zero V
+		return 0, zero, false
+	}
+	n := t.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.val, true
+}
+
+// Max returns the largest entry.
+func (t *Tree[V]) Max() (k uint64, v V, ok bool) {
+	if t.root == nil {
+		var zero V
+		return 0, zero, false
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.val, true
+}
+
+// Insert stores val at key, replacing any existing value. It reports
+// whether a new key was inserted.
+func (t *Tree[V]) Insert(key uint64, val V) bool {
+	var parent *node[V]
+	link := &t.root
+	for *link != nil {
+		parent = *link
+		switch {
+		case key < parent.key:
+			link = &parent.left
+		case key > parent.key:
+			link = &parent.right
+		default:
+			parent.val = val
+			return false
+		}
+	}
+	n := &node[V]{parent: parent, color: red, key: key, val: val}
+	*link = n
+	t.count++
+	t.insertFixup(n)
+	return true
+}
+
+func (t *Tree[V]) rotateLeft(x *node[V]) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[V]) rotateRight(x *node[V]) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[V]) insertFixup(z *node[V]) {
+	for z.parent != nil && z.parent.color == red {
+		g := z.parent.parent
+		if z.parent == g.left {
+			u := g.right
+			if u != nil && u.color == red {
+				z.parent.color = black
+				u.color = black
+				g.color = red
+				z = g
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.color = black
+			g.color = red
+			t.rotateRight(g)
+		} else {
+			u := g.left
+			if u != nil && u.color == red {
+				z.parent.color = black
+				u.color = black
+				g.color = red
+				z = g
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.color = black
+			g.color = red
+			t.rotateLeft(g)
+		}
+	}
+	t.root.color = black
+}
+
+// Delete removes key. It reports whether the key was present.
+func (t *Tree[V]) Delete(key uint64) bool {
+	z := t.root
+	for z != nil && z.key != key {
+		if key < z.key {
+			z = z.left
+		} else {
+			z = z.right
+		}
+	}
+	if z == nil {
+		return false
+	}
+	t.count--
+
+	// y is the node actually unlinked; it has at most one child.
+	y := z
+	if z.left != nil && z.right != nil {
+		y = z.right
+		for y.left != nil {
+			y = y.left
+		}
+		z.key, z.val = y.key, y.val
+	}
+	child := y.left
+	if child == nil {
+		child = y.right
+	}
+	yColor := y.color
+	parent := y.parent
+	if child != nil {
+		child.parent = parent
+	}
+	switch {
+	case parent == nil:
+		t.root = child
+	case y == parent.left:
+		parent.left = child
+	default:
+		parent.right = child
+	}
+	if yColor == black {
+		t.deleteFixup(child, parent)
+	}
+	return true
+}
+
+// deleteFixup restores red-black properties after removing a black node.
+// x may be nil (treated as black); parent is its parent.
+func (t *Tree[V]) deleteFixup(x *node[V], parent *node[V]) {
+	for x != t.root && (x == nil || x.color == black) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if w.color == red {
+				w.color = black
+				parent.color = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if (w.left == nil || w.left.color == black) &&
+				(w.right == nil || w.right.color == black) {
+				w.color = red
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if w.right == nil || w.right.color == black {
+				if w.left != nil {
+					w.left.color = black
+				}
+				w.color = red
+				t.rotateRight(w)
+				w = parent.right
+			}
+			w.color = parent.color
+			parent.color = black
+			if w.right != nil {
+				w.right.color = black
+			}
+			t.rotateLeft(parent)
+			x = t.root
+			parent = nil
+		} else {
+			w := parent.left
+			if w.color == red {
+				w.color = black
+				parent.color = red
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if (w.left == nil || w.left.color == black) &&
+				(w.right == nil || w.right.color == black) {
+				w.color = red
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if w.left == nil || w.left.color == black {
+				if w.right != nil {
+					w.right.color = black
+				}
+				w.color = red
+				t.rotateLeft(w)
+				w = parent.left
+			}
+			w.color = parent.color
+			parent.color = black
+			if w.left != nil {
+				w.left.color = black
+			}
+			t.rotateRight(parent)
+			x = t.root
+			parent = nil
+		}
+	}
+	if x != nil {
+		x.color = black
+	}
+}
+
+// Ascend calls fn for each entry in ascending key order until fn
+// returns false.
+func (t *Tree[V]) Ascend(fn func(key uint64, val V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[V any](n *node[V], fn func(uint64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	return ascend(n.left, fn) && fn(n.key, n.val) && ascend(n.right, fn)
+}
+
+// AscendRange calls fn for each entry with lo <= key < hi.
+func (t *Tree[V]) AscendRange(lo, hi uint64, fn func(key uint64, val V) bool) {
+	ascendRange(t.root, lo, hi, fn)
+}
+
+func ascendRange[V any](n *node[V], lo, hi uint64, fn func(uint64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.key >= lo {
+		if !ascendRange(n.left, lo, hi, fn) {
+			return false
+		}
+		if n.key < hi && !fn(n.key, n.val) {
+			return false
+		}
+	}
+	if n.key < hi {
+		return ascendRange(n.right, lo, hi, fn)
+	}
+	return true
+}
+
+// Keys returns all keys in ascending order.
+func (t *Tree[V]) Keys() []uint64 {
+	keys := make([]uint64, 0, t.count)
+	t.Ascend(func(k uint64, _ V) bool { keys = append(keys, k); return true })
+	return keys
+}
+
+// Height returns the height of the tree.
+func (t *Tree[V]) Height() int { return height(t.root) }
+
+func height[V any](n *node[V]) int {
+	if n == nil {
+		return 0
+	}
+	l, r := height(n.left), height(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Validate checks the red-black invariants: root is black, no red node
+// has a red child, every root-to-leaf path has the same black height,
+// keys are in BST order, and parent pointers are consistent.
+func (t *Tree[V]) Validate() error {
+	if t.root != nil && t.root.color != black {
+		return fmt.Errorf("rbtree: red root")
+	}
+	if t.root != nil && t.root.parent != nil {
+		return fmt.Errorf("rbtree: root has parent")
+	}
+	n, _, err := validate(t.root, 0, ^uint64(0), true, true)
+	if err != nil {
+		return err
+	}
+	if n != t.count {
+		return fmt.Errorf("rbtree: count %d != nodes %d", t.count, n)
+	}
+	return nil
+}
+
+func validate[V any](n *node[V], lo, hi uint64, loOpen, hiOpen bool) (count, blackHeight int, err error) {
+	if n == nil {
+		return 0, 1, nil
+	}
+	if !loOpen && n.key <= lo {
+		return 0, 0, fmt.Errorf("rbtree: BST violation: %d <= %d", n.key, lo)
+	}
+	if !hiOpen && n.key >= hi {
+		return 0, 0, fmt.Errorf("rbtree: BST violation: %d >= %d", n.key, hi)
+	}
+	if n.color == red {
+		if (n.left != nil && n.left.color == red) || (n.right != nil && n.right.color == red) {
+			return 0, 0, fmt.Errorf("rbtree: red node %d has red child", n.key)
+		}
+	}
+	if n.left != nil && n.left.parent != n {
+		return 0, 0, fmt.Errorf("rbtree: bad parent link at %d", n.left.key)
+	}
+	if n.right != nil && n.right.parent != n {
+		return 0, 0, fmt.Errorf("rbtree: bad parent link at %d", n.right.key)
+	}
+	lc, lb, err := validate(n.left, lo, n.key, loOpen, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	rc, rb, err := validate(n.right, n.key, hi, false, hiOpen)
+	if err != nil {
+		return 0, 0, err
+	}
+	if lb != rb {
+		return 0, 0, fmt.Errorf("rbtree: black height mismatch at %d: %d vs %d", n.key, lb, rb)
+	}
+	bh := lb
+	if n.color == black {
+		bh++
+	}
+	return 1 + lc + rc, bh, nil
+}

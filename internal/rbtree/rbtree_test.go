@@ -1,0 +1,162 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New[int]()
+	if tr.Len() != 0 {
+		t.Fatal("non-zero Len")
+	}
+	if _, ok := tr.Lookup(1); ok {
+		t.Fatal("lookup on empty succeeded")
+	}
+	if tr.Delete(1) {
+		t.Fatal("delete on empty succeeded")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr := New[string]()
+	if !tr.Insert(1, "a") || tr.Insert(1, "b") {
+		t.Fatal("Insert added/replace flags wrong")
+	}
+	if v, _ := tr.Lookup(1); v != "b" {
+		t.Fatalf("got %q", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatal("Len wrong after replace")
+	}
+}
+
+func TestRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int]()
+	ref := map[uint64]int{}
+	for i := 0; i < 30000; i++ {
+		k := uint64(rng.Intn(3000))
+		if rng.Intn(2) == 0 {
+			tr.Insert(k, i)
+			ref[k] = i
+		} else {
+			del := tr.Delete(k)
+			_, had := ref[k]
+			if del != had {
+				t.Fatalf("op %d: Delete(%d)=%v had=%v", i, k, del, had)
+			}
+			delete(ref, k)
+		}
+		if i%5000 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len=%d ref=%d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := tr.Lookup(k); !ok || got != v {
+			t.Fatalf("Lookup(%d)=%d,%v want %d", k, got, ok, v)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendingInsertHeight(t *testing.T) {
+	tr := New[int]()
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// RB height <= 2*log2(n+1) = 30 for n=16384.
+	if h := tr.Height(); h > 30 {
+		t.Fatalf("height %d exceeds RB bound", h)
+	}
+}
+
+func TestFloorCeiling(t *testing.T) {
+	tr := New[int]()
+	for _, k := range []uint64{10, 20, 30} {
+		tr.Insert(k, int(k))
+	}
+	if k, _, ok := tr.Floor(25); !ok || k != 20 {
+		t.Fatalf("Floor(25)=%d,%v", k, ok)
+	}
+	if k, _, ok := tr.Floor(5); ok {
+		t.Fatalf("Floor(5)=%d,%v want miss", k, ok)
+	}
+	if k, _, ok := tr.Ceiling(25); !ok || k != 30 {
+		t.Fatalf("Ceiling(25)=%d,%v", k, ok)
+	}
+	if k, _, ok := tr.Ceiling(35); ok {
+		t.Fatalf("Ceiling(35)=%d,%v want miss", k, ok)
+	}
+	if k, _, ok := tr.Min(); !ok || k != 10 {
+		t.Fatalf("Min=%d,%v", k, ok)
+	}
+	if k, _, ok := tr.Max(); !ok || k != 30 {
+		t.Fatalf("Max=%d,%v", k, ok)
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := New[int]()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		tr.Insert(uint64(rng.Intn(10000)), i)
+	}
+	keys := tr.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("not sorted")
+	}
+	var got []uint64
+	tr.AscendRange(100, 200, func(k uint64, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	for _, k := range got {
+		if k < 100 || k >= 200 {
+			t.Fatalf("range key %d out of [100,200)", k)
+		}
+	}
+}
+
+func TestQuickSetSemantics(t *testing.T) {
+	f := func(ins, dels []uint16) bool {
+		tr := New[struct{}]()
+		want := map[uint64]bool{}
+		for _, k := range ins {
+			tr.Insert(uint64(k), struct{}{})
+			want[uint64(k)] = true
+		}
+		for _, k := range dels {
+			tr.Delete(uint64(k))
+			delete(want, uint64(k))
+		}
+		if tr.Len() != len(want) || tr.Validate() != nil {
+			return false
+		}
+		for k := range want {
+			if !tr.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,8 @@
+package rcu
+
+import "runtime"
+
+// yield lets other goroutines run while a grace period waits on a
+// long-running reader. On a machine with fewer cores than runnable
+// goroutines (like the CI host), Gosched is required for progress.
+func yield() { runtime.Gosched() }

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+
+	"bonsai/internal/coherence"
+	"bonsai/internal/vm"
+)
+
+// TestFig13MetisShape checks the headline application result: at 80
+// cores pure RCU outperforms read/write locking by ~3.4× on Metis and
+// achieves near-perfect self-speedup (paper: 75×), with the designs
+// ordered stock < hybrid < pure.
+func TestFig13MetisShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	m := &coherence.E78870
+	p := DefaultParams
+	stock := RunApp(m, vm.RWLock, p, Metis, 80)
+	hybrid := RunApp(m, vm.Hybrid, p, Metis, 80)
+	pure := RunApp(m, vm.PureRCU, p, Metis, 80)
+	pure1 := RunApp(m, vm.PureRCU, p, Metis, 1)
+
+	ratio := pure.JobsPerHour / stock.JobsPerHour
+	if ratio < 2.5 || ratio > 4.5 {
+		t.Errorf("Metis pure/stock at 80 cores = %.2fx, paper reports 3.4x", ratio)
+	}
+	speedup := pure.JobsPerHour / pure1.JobsPerHour
+	if speedup < 60 {
+		t.Errorf("Metis pure RCU speedup at 80 cores = %.0fx, paper reports ~75x", speedup)
+	}
+	if !(stock.JobsPerHour < hybrid.JobsPerHour && hybrid.JobsPerHour < pure.JobsPerHour) {
+		t.Errorf("Metis ordering violated: stock %.0f, hybrid %.0f, pure %.0f",
+			stock.JobsPerHour, hybrid.JobsPerHour, pure.JobsPerHour)
+	}
+	t.Logf("Metis @80: stock=%.0f hybrid=%.0f pure=%.0f jobs/h (pure %.2fx stock, %.0fx speedup)",
+		stock.JobsPerHour, hybrid.JobsPerHour, pure.JobsPerHour, ratio, speedup)
+}
+
+// TestFig14PsearchyShape checks Psearchy's signature behaviour: stock
+// peaks in the mid-range and *decays* toward 80 cores ("performance
+// decays beyond the peak at 32 cores"), while pure RCU stays ahead
+// (paper: 1.8× stock at 80) but plateaus on serialized mapping
+// operations.
+func TestFig14PsearchyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	m := &coherence.E78870
+	p := DefaultParams
+	stock32 := RunApp(m, vm.RWLock, p, Psearchy, 32)
+	stock80 := RunApp(m, vm.RWLock, p, Psearchy, 80)
+	pure80 := RunApp(m, vm.PureRCU, p, Psearchy, 80)
+	hybrid80 := RunApp(m, vm.Hybrid, p, Psearchy, 80)
+
+	if stock80.JobsPerHour >= stock32.JobsPerHour {
+		t.Errorf("Psearchy stock did not decay: %.0f at 32 cores vs %.0f at 80",
+			stock32.JobsPerHour, stock80.JobsPerHour)
+	}
+	ratio := pure80.JobsPerHour / stock80.JobsPerHour
+	if ratio < 1.4 || ratio > 3.0 {
+		t.Errorf("Psearchy pure/stock at 80 = %.2fx, paper reports 1.8x", ratio)
+	}
+	// Pure beats hybrid only slightly (paper: 3.1%) — both are mmap-bound.
+	hr := pure80.JobsPerHour / hybrid80.JobsPerHour
+	if hr < 1.0 || hr > 1.3 {
+		t.Errorf("Psearchy pure/hybrid at 80 = %.2fx, paper reports ~1.03x", hr)
+	}
+	t.Logf("Psearchy: stock32=%.0f stock80=%.0f hybrid80=%.0f pure80=%.0f (pure %.2fx stock)",
+		stock32.JobsPerHour, stock80.JobsPerHour, hybrid80.JobsPerHour, pure80.JobsPerHour, ratio)
+}
+
+// TestFig15DedupShape checks Dedup: the two RCU designs scale much
+// better than the lock designs (paper: +60% hybrid, +70% pure over
+// stock at 80 cores) and land close to each other.
+func TestFig15DedupShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	m := &coherence.E78870
+	p := DefaultParams
+	stock := RunApp(m, vm.RWLock, p, Dedup, 80)
+	fault := RunApp(m, vm.FaultLock, p, Dedup, 80)
+	hybrid := RunApp(m, vm.Hybrid, p, Dedup, 80)
+	pure := RunApp(m, vm.PureRCU, p, Dedup, 80)
+
+	hratio := hybrid.JobsPerHour / stock.JobsPerHour
+	pratio := pure.JobsPerHour / stock.JobsPerHour
+	if hratio < 1.3 {
+		t.Errorf("Dedup hybrid/stock = %.2fx, paper reports 1.6x", hratio)
+	}
+	if pratio < 1.35 {
+		t.Errorf("Dedup pure/stock = %.2fx, paper reports 1.7x", pratio)
+	}
+	if pure.JobsPerHour < hybrid.JobsPerHour {
+		t.Errorf("Dedup pure (%.0f) below hybrid (%.0f)", pure.JobsPerHour, hybrid.JobsPerHour)
+	}
+	// Fault locking barely helps Dedup (paper Figure 15).
+	if fault.JobsPerHour > stock.JobsPerHour*1.25 {
+		t.Errorf("Dedup fault locking improbably good: %.0f vs stock %.0f",
+			fault.JobsPerHour, stock.JobsPerHour)
+	}
+	t.Logf("Dedup @80: stock=%.0f fault=%.0f hybrid=%.0f pure=%.0f (hybrid %.2fx, pure %.2fx)",
+		stock.JobsPerHour, fault.JobsPerHour, hybrid.JobsPerHour, pure.JobsPerHour, hratio, pratio)
+}
+
+// TestTable1Shape checks the Table 1 reproduction: system time at 80
+// cores "drops precipitously with each increasingly concurrent address
+// space design", with pure RCU cutting 88–94% of stock's system time.
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	m := &coherence.E78870
+	p := DefaultParams
+	for _, app := range Apps {
+		stock := RunApp(m, vm.RWLock, p, app, 80)
+		pure := RunApp(m, vm.PureRCU, p, app, 80)
+		if pure.SysSeconds > stock.SysSeconds*0.35 {
+			t.Errorf("%s: pure sys %.0fs vs stock %.0fs — paper reports 88-94%% reduction",
+				app.Name, pure.SysSeconds, stock.SysSeconds)
+		}
+		// User time must not be *lower* under stock (cache pressure
+		// inflates it; §7.2).
+		if stock.UserSeconds < pure.UserSeconds {
+			t.Errorf("%s: stock user %.0fs < pure user %.0fs", app.Name, stock.UserSeconds, pure.UserSeconds)
+		}
+		t.Logf("%-9s stock user/sys/idle = %.0f/%.0f/%.0f s; pure = %.0f/%.0f/%.0f s",
+			app.Name, stock.UserSeconds, stock.SysSeconds, stock.IdleSeconds,
+			pure.UserSeconds, pure.SysSeconds, pure.IdleSeconds)
+	}
+}

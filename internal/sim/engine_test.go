@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"testing"
+
+	"bonsai/internal/coherence"
+)
+
+func testMachine() *coherence.Machine {
+	m := coherence.E78870
+	return &m
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	s := New(testMachine(), false)
+	var end uint64
+	s.Spawn(0, "a", func(c *Ctx) {
+		c.ComputeUser(100)
+		c.ComputeSys(50)
+		end = c.Now()
+	})
+	s.Run(1000)
+	if end != 150 {
+		t.Fatalf("clock = %d, want 150", end)
+	}
+}
+
+func TestSchedulerPicksMinClock(t *testing.T) {
+	s := New(testMachine(), false)
+	var order []string
+	s.Spawn(0, "slow", func(c *Ctx) {
+		c.ComputeUser(1000)
+		order = append(order, "slow")
+	})
+	s.Spawn(1, "fast", func(c *Ctx) {
+		c.ComputeUser(10)
+		order = append(order, "fast-1")
+		c.ComputeUser(10)
+		order = append(order, "fast-2")
+	})
+	s.Run(10_000)
+	if len(order) != 3 || order[0] != "fast-1" || order[1] != "fast-2" || order[2] != "slow" {
+		t.Fatalf("scheduling order: %v", order)
+	}
+}
+
+func TestRunStopsAtDeadline(t *testing.T) {
+	s := New(testMachine(), false)
+	iters := 0
+	s.Spawn(0, "loop", func(c *Ctx) {
+		for {
+			c.ComputeUser(100)
+			iters++
+		}
+	})
+	s.Run(1000)
+	if iters < 9 || iters > 11 {
+		t.Fatalf("infinite loop ran %d iterations before the deadline", iters)
+	}
+}
+
+func TestAcquireSerializesLine(t *testing.T) {
+	m := testMachine()
+	s := New(m, false)
+	line := coherence.NewLine()
+	ends := make([]uint64, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		// Put the two cores on different sockets (packed placement:
+		// cores 0 and 10).
+		s.Spawn(i*10, "w", func(c *Ctx) {
+			c.Acquire(line)
+			ends[i] = c.Now()
+		})
+	}
+	s.Run(1_000_000)
+	if ends[0] == ends[1] {
+		t.Fatalf("line transfers did not serialize: both finished at %d", ends[0])
+	}
+	// The second acquire queues behind the first and pays a transfer.
+	later := ends[0]
+	if ends[1] > later {
+		later = ends[1]
+	}
+	if later < m.Lat.CrossSocket {
+		t.Fatalf("contended acquire finished at %d, faster than a transfer (%d)", later, m.Lat.CrossSocket)
+	}
+}
+
+func TestVSemMutualExclusionVirtual(t *testing.T) {
+	s := New(testMachine(), false)
+	sem := NewVSem(s, 1000, true)
+	holders := 0
+	maxHolders := 0
+	for i := 0; i < 4; i++ {
+		s.Spawn(i, "w", func(c *Ctx) {
+			for j := 0; j < 50; j++ {
+				sem.Lock(c)
+				holders++
+				if holders > maxHolders {
+					maxHolders = holders
+				}
+				c.ComputeSys(500)
+				holders--
+				sem.Unlock(c)
+			}
+		})
+	}
+	s.Run(1 << 62)
+	if maxHolders != 1 {
+		t.Fatalf("write mutual exclusion violated: %d concurrent holders", maxHolders)
+	}
+}
+
+func TestVSemReadersOverlapInVirtualTime(t *testing.T) {
+	s := New(testMachine(), false)
+	sem := NewVSem(s, 1000, true)
+	var spans [][2]uint64
+	for i := 0; i < 3; i++ {
+		s.Spawn(i, "r", func(c *Ctx) {
+			sem.RLock(c)
+			start := c.Now()
+			c.ComputeSys(10_000)
+			spans = append(spans, [2]uint64{start, c.Now()})
+			sem.RUnlock(c)
+		})
+	}
+	s.Run(1 << 62)
+	if len(spans) != 3 {
+		t.Fatalf("only %d readers finished", len(spans))
+	}
+	overlap := false
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if spans[i][0] < spans[j][1] && spans[j][0] < spans[i][1] {
+				overlap = true
+			}
+		}
+	}
+	if !overlap {
+		t.Fatal("readers never overlapped in virtual time")
+	}
+}
+
+func TestVSemWriterPreferenceVirtual(t *testing.T) {
+	// Reader holds; writer queues; a second reader must wait behind the
+	// writer (Figure 2 semantics in virtual time).
+	s := New(testMachine(), false)
+	sem := NewVSem(s, 1000, true)
+	var writerDone, reader2Start uint64
+	s.Spawn(0, "r1", func(c *Ctx) {
+		sem.RLock(c)
+		c.ComputeSys(50_000)
+		sem.RUnlock(c)
+	})
+	s.Spawn(1, "w", func(c *Ctx) {
+		c.ComputeUser(1_000) // arrive while r1 holds
+		sem.Lock(c)
+		c.ComputeSys(30_000)
+		writerDone = c.Now()
+		sem.Unlock(c)
+	})
+	s.Spawn(2, "r2", func(c *Ctx) {
+		c.ComputeUser(10_000) // arrive after the writer queued
+		sem.RLock(c)
+		reader2Start = c.Now()
+		sem.RUnlock(c)
+	})
+	s.Run(1 << 62)
+	if reader2Start < writerDone {
+		t.Fatalf("late reader got in (t=%d) before the queued writer finished (t=%d)",
+			reader2Start, writerDone)
+	}
+}
+
+func TestAccountingSplitsUserSysIdle(t *testing.T) {
+	s := New(testMachine(), false)
+	sem := NewVSem(s, 1000, true)
+	var blocked *Proc
+	s.Spawn(0, "w", func(c *Ctx) {
+		sem.Lock(c)
+		c.ComputeSys(100_000)
+		sem.Unlock(c)
+	})
+	blocked = s.Spawn(1, "r", func(c *Ctx) {
+		c.ComputeUser(5_000) // arrive while the writer holds
+		sem.RLock(c)
+		sem.RUnlock(c)
+	})
+	s.Run(1 << 62)
+	user, _, idle, sleeps := blocked.Accounting()
+	if user != 5000 {
+		t.Fatalf("user = %d, want 5000", user)
+	}
+	if sleeps != 1 || idle < 50_000 {
+		t.Fatalf("blocked reader: sleeps=%d idle=%d, expected one long sleep", sleeps, idle)
+	}
+}

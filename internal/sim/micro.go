@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"math"
+
+	"bonsai/internal/coherence"
+	"bonsai/internal/stats"
+	"bonsai/internal/vm"
+)
+
+// MicroResult is one microbenchmark measurement point.
+type MicroResult struct {
+	Design         vm.Design
+	Cores          int
+	MmapFraction   float64
+	FaultsPerSec   float64
+	CyclesPerFault float64
+}
+
+// RunMicro runs the §7.3 microbenchmark: faultCores cores fault
+// continuously while (optionally) one extra core spends mmapFraction of
+// its time in memory-mapping operations. It simulates for the given
+// virtual duration and returns throughput and mean fault cost.
+//
+// Microbenchmark runs pack cores onto as few sockets as possible, per
+// §7.1 ("for these we group enabled cores on as few sockets as
+// possible").
+func RunMicro(m *coherence.Machine, d vm.Design, p Params,
+	faultCores int, mmapFraction float64, cycles uint64) MicroResult {
+	s := New(m, false /* packed */)
+	env := NewEnv(s, d, p, faultCores)
+
+	faults := make([]uint64, faultCores)
+	for i := 0; i < faultCores; i++ {
+		i := i
+		s.Spawn(i, "fault", func(c *Ctx) {
+			for {
+				env.Fault(c)
+				faults[i]++
+			}
+		})
+	}
+	if mmapFraction > 0 {
+		s.Spawn(faultCores, "mmap", func(c *Ctx) {
+			for {
+				start := c.Now()
+				env.Mmap(c)
+				dur := c.Now() - start
+				if mmapFraction < 1 {
+					idle := float64(dur) * (1 - mmapFraction) / mmapFraction
+					c.ComputeUser(uint64(idle))
+				}
+			}
+		})
+	}
+	final := s.Run(cycles)
+	if final == 0 {
+		final = cycles
+	}
+
+	var total uint64
+	for _, f := range faults {
+		total += f
+	}
+	res := MicroResult{Design: d, Cores: faultCores, MmapFraction: mmapFraction}
+	if total > 0 {
+		res.FaultsPerSec = float64(total) / (float64(cycles) / m.ClockHz)
+		res.CyclesPerFault = float64(cycles) * float64(faultCores) / float64(total)
+	} else {
+		res.CyclesPerFault = math.Inf(1)
+	}
+	return res
+}
+
+// DefaultCorePoints is the core-count sweep of Figures 16 and 17.
+var DefaultCorePoints = []int{1, 10, 20, 30, 40, 50, 60, 70, 80}
+
+// Fig16 regenerates Figure 16: microbenchmark fault throughput versus
+// cores with no mapping operations.
+func Fig16(m *coherence.Machine, p Params, cores []int, cycles uint64) *stats.Series {
+	s := &stats.Series{
+		Title:  "Figure 16: Microbenchmark throughput with no lock contention",
+		XLabel: "Cores",
+		YLabel: "Page faults/sec",
+	}
+	for _, n := range cores {
+		s.X = append(s.X, float64(n))
+	}
+	for _, d := range vm.Designs {
+		var y []float64
+		for _, n := range cores {
+			r := RunMicro(m, d, p, n, 0, cycles)
+			y = append(y, r.FaultsPerSec)
+		}
+		s.AddLine(d.String(), y)
+	}
+	return s
+}
+
+// Fig17 regenerates Figure 17: cycles per fault versus cores with no
+// mapping operations.
+func Fig17(m *coherence.Machine, p Params, cores []int, cycles uint64) *stats.Series {
+	s := &stats.Series{
+		Title:  "Figure 17: Microbenchmark page fault cost with no lock contention",
+		XLabel: "Cores",
+		YLabel: "Cycles/page fault",
+	}
+	for _, n := range cores {
+		s.X = append(s.X, float64(n))
+	}
+	for _, d := range vm.Designs {
+		var y []float64
+		for _, n := range cores {
+			r := RunMicro(m, d, p, n, 0, cycles)
+			y = append(y, r.CyclesPerFault)
+		}
+		s.AddLine(d.String(), y)
+	}
+	return s
+}
+
+// Fig18Cores are the per-design core counts of Figure 18: "for each
+// design, we use enough page faulting cores to drive the design at its
+// peak page fault rate". The paper measured peaks of 10/11/15/80 on its
+// hardware; in this calibrated model Hybrid peaks at 11 cores rather
+// than 15 (see EXPERIMENTS.md), so that point is used instead — past
+// the peak the normalization in this figure is no longer meaningful.
+var Fig18Cores = map[vm.Design]int{
+	vm.RWLock:    10,
+	vm.FaultLock: 11,
+	vm.Hybrid:    11,
+	vm.PureRCU:   80,
+}
+
+// DefaultFractionPoints is the mmap duty-cycle sweep of Figure 18.
+var DefaultFractionPoints = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// Fig18 regenerates Figure 18: page fault cost versus the fraction of
+// time one core spends in mmap/munmap, normalized to the cost with no
+// mapping operations, at each design's peak-rate core count.
+func Fig18(m *coherence.Machine, p Params, fractions []float64, cycles uint64) *stats.Series {
+	s := &stats.Series{
+		Title:  "Figure 18: Page fault cost vs. time spent in mmap/munmap (normalized)",
+		XLabel: "Fraction of time in mmap/munmap",
+		YLabel: "Normalized page fault cost",
+	}
+	s.X = append(s.X, fractions...)
+	for _, d := range vm.Designs {
+		n := Fig18Cores[d]
+		base := RunMicro(m, d, p, n, 0, cycles).CyclesPerFault
+		var y []float64
+		for _, f := range fractions {
+			r := RunMicro(m, d, p, n, f, cycles)
+			y = append(y, r.CyclesPerFault/base)
+		}
+		s.AddLine(d.String()+lineCores(n), y)
+	}
+	return s
+}
+
+func lineCores(n int) string {
+	return " (" + stats.FormatFloat(float64(n)) + " cores)"
+}

@@ -1,0 +1,244 @@
+// Package skiplist implements a concurrent skip list with lock-free
+// lookups and a single serialized writer — the Pugh-style structure the
+// paper's related-work section discusses as another way to get
+// lock-free lookups with ordered keys (§2, "concurrent skip lists").
+// It is included as a benchmark baseline for the BONSAI tree: both
+// offer lock-free ordered lookups under RCU, but the skip list trades
+// pointer density and cache behaviour differently.
+//
+// Writers must be serialized externally or via the Insert/Delete
+// wrappers. Readers need no synchronization beyond running inside an
+// RCU read-side critical section if they must hold references across
+// deletions (with Go's GC, references stay valid regardless).
+package skiplist
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxLevel bounds the tower height (enough for billions of keys at
+// p = 1/4).
+const MaxLevel = 16
+
+// p is the level-promotion probability.
+const p = 0.25
+
+type node[V any] struct {
+	key  uint64
+	val  V
+	next []atomic.Pointer[node[V]] // tower; len = node level
+}
+
+// List is a skip list mapping uint64 keys to values of type V.
+type List[V any] struct {
+	head *node[V] // sentinel with a full-height tower
+	mu   sync.Mutex
+	rng  *rand.Rand
+	size int
+	// level is the current highest occupied level (writer-maintained).
+	level int
+}
+
+// New returns an empty skip list with a deterministic tower RNG seed.
+func New[V any]() *List[V] {
+	return NewSeeded[V](1)
+}
+
+// NewSeeded returns an empty skip list whose tower heights derive from
+// the given seed.
+func NewSeeded[V any](seed int64) *List[V] {
+	h := &node[V]{next: make([]atomic.Pointer[node[V]], MaxLevel)}
+	return &List[V]{head: h, rng: rand.New(rand.NewSource(seed)), level: 1}
+}
+
+// Len returns the number of entries (writer-side).
+func (l *List[V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+func (l *List[V]) randomLevel() int {
+	lvl := 1
+	for lvl < MaxLevel && l.rng.Float64() < p {
+		lvl++
+	}
+	return lvl
+}
+
+// Lookup reports the value stored at key. It is lock-free: each next
+// pointer is read at most once per step and nothing is written.
+func (l *List[V]) Lookup(key uint64) (V, bool) {
+	n := l.head
+	for lvl := MaxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := n.next[lvl].Load()
+			if nxt == nil || nxt.key >= key {
+				break
+			}
+			n = nxt
+		}
+	}
+	n = n.next[0].Load()
+	if n != nil && n.key == key {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (l *List[V]) Contains(key uint64) bool {
+	_, ok := l.Lookup(key)
+	return ok
+}
+
+// Floor returns the entry with the greatest key <= key. Lock-free.
+func (l *List[V]) Floor(key uint64) (k uint64, v V, ok bool) {
+	n := l.head
+	for lvl := MaxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := n.next[lvl].Load()
+			if nxt == nil || nxt.key > key {
+				break
+			}
+			n = nxt
+		}
+	}
+	if n == l.head {
+		var zero V
+		return 0, zero, false
+	}
+	return n.key, n.val, true
+}
+
+// findPredecessors fills preds with the rightmost node before key at
+// every level (writer-side).
+func (l *List[V]) findPredecessors(key uint64, preds *[MaxLevel]*node[V]) {
+	n := l.head
+	for lvl := MaxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := n.next[lvl].Load()
+			if nxt == nil || nxt.key >= key {
+				break
+			}
+			n = nxt
+		}
+		preds[lvl] = n
+	}
+}
+
+// Insert stores val at key, reporting whether a new key was added.
+// Publication is incremental but safe: the node is linked bottom-up, so
+// a concurrent lock-free lookup either finds it through level 0 or
+// does not see it yet — it can never see a partially initialized node.
+func (l *List[V]) Insert(key uint64, val V) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	var preds [MaxLevel]*node[V]
+	l.findPredecessors(key, &preds)
+	if cur := preds[0].next[0].Load(); cur != nil && cur.key == key {
+		// Replace: readers must never observe a torn value, so publish
+		// a fresh node (same tower height) and unlink the old one.
+		repl := &node[V]{key: key, val: val, next: make([]atomic.Pointer[node[V]], len(cur.next))}
+		for i := range cur.next {
+			repl.next[i].Store(cur.next[i].Load())
+		}
+		for i := range cur.next {
+			preds[i].next[i].Store(repl)
+		}
+		return false
+	}
+
+	lvl := l.randomLevel()
+	if lvl > l.level {
+		l.level = lvl
+	}
+	n := &node[V]{key: key, val: val, next: make([]atomic.Pointer[node[V]], lvl)}
+	// Prepare all forward pointers before any publication.
+	for i := 0; i < lvl; i++ {
+		n.next[i].Store(preds[i].next[i].Load())
+	}
+	// Publish bottom-up.
+	for i := 0; i < lvl; i++ {
+		preds[i].next[i].Store(n)
+	}
+	l.size++
+	return true
+}
+
+// Delete removes key, reporting whether it was present. The node is
+// unlinked top-down so a lookup descending through it still reaches
+// level 0 consistently; the node's own pointers stay intact for
+// concurrent readers traversing through it (RCU-style).
+func (l *List[V]) Delete(key uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	var preds [MaxLevel]*node[V]
+	l.findPredecessors(key, &preds)
+	cur := preds[0].next[0].Load()
+	if cur == nil || cur.key != key {
+		return false
+	}
+	for i := len(cur.next) - 1; i >= 0; i-- {
+		preds[i].next[i].Store(cur.next[i].Load())
+	}
+	l.size--
+	return true
+}
+
+// Ascend calls fn in ascending key order until fn returns false.
+// Lock-free snapshot-ish traversal over level 0.
+func (l *List[V]) Ascend(fn func(key uint64, val V) bool) {
+	for n := l.head.next[0].Load(); n != nil; n = n.next[0].Load() {
+		if !fn(n.key, n.val) {
+			return
+		}
+	}
+}
+
+// Keys returns all keys in ascending order.
+func (l *List[V]) Keys() []uint64 {
+	var keys []uint64
+	l.Ascend(func(k uint64, _ V) bool { keys = append(keys, k); return true })
+	return keys
+}
+
+// Validate checks the structural invariants: sorted level-0 chain with
+// the recorded size, and every higher-level chain a subsequence of the
+// one below.
+func (l *List[V]) Validate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	count := 0
+	prev := uint64(0)
+	first := true
+	for n := l.head.next[0].Load(); n != nil; n = n.next[0].Load() {
+		if !first && n.key <= prev {
+			return fmt.Errorf("skiplist: unsorted at %d after %d", n.key, prev)
+		}
+		prev, first = n.key, false
+		count++
+	}
+	if count != l.size {
+		return fmt.Errorf("skiplist: size %d but %d nodes", l.size, count)
+	}
+	for lvl := 1; lvl < MaxLevel; lvl++ {
+		below := map[uint64]bool{}
+		for n := l.head.next[lvl-1].Load(); n != nil; n = n.next[lvl-1].Load() {
+			below[n.key] = true
+		}
+		for n := l.head.next[lvl].Load(); n != nil; n = n.next[lvl].Load() {
+			if !below[n.key] {
+				return fmt.Errorf("skiplist: key %d at level %d missing from level %d", n.key, lvl, lvl-1)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	l := New[int]()
+	if l.Len() != 0 || l.Delete(1) || l.Contains(1) {
+		t.Fatal("empty list misbehaved")
+	}
+	if _, _, ok := l.Floor(10); ok {
+		t.Fatal("Floor on empty succeeded")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	l := New[string]()
+	if !l.Insert(5, "five") || l.Insert(5, "FIVE") {
+		t.Fatal("insert added/replace flags wrong")
+	}
+	if v, ok := l.Lookup(5); !ok || v != "FIVE" {
+		t.Fatalf("Lookup = %q,%v", v, ok)
+	}
+	if !l.Delete(5) || l.Delete(5) {
+		t.Fatal("delete flags wrong")
+	}
+	if l.Len() != 0 {
+		t.Fatal("Len after delete")
+	}
+}
+
+func TestRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := New[int]()
+	ref := map[uint64]int{}
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(2000))
+		if rng.Intn(2) == 0 {
+			l.Insert(k, i)
+			ref[k] = i
+		} else {
+			del := l.Delete(k)
+			if _, had := ref[k]; del != had {
+				t.Fatalf("Delete(%d)=%v had=%v", k, del, had)
+			}
+			delete(ref, k)
+		}
+		if i%4000 == 0 {
+			if err := l.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if l.Len() != len(ref) {
+		t.Fatalf("Len=%d ref=%d", l.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := l.Lookup(k); !ok || got != v {
+			t.Fatalf("Lookup(%d)=%d,%v want %d", k, got, ok, v)
+		}
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloorAndOrder(t *testing.T) {
+	l := New[int]()
+	for _, k := range []uint64{10, 20, 30} {
+		l.Insert(k, int(k))
+	}
+	if k, _, ok := l.Floor(25); !ok || k != 20 {
+		t.Fatalf("Floor(25)=%d,%v", k, ok)
+	}
+	if k, _, ok := l.Floor(10); !ok || k != 10 {
+		t.Fatalf("Floor(10)=%d,%v", k, ok)
+	}
+	if _, _, ok := l.Floor(5); ok {
+		t.Fatal("Floor(5) found something")
+	}
+	keys := l.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("keys unsorted")
+	}
+}
+
+func TestQuickSetSemantics(t *testing.T) {
+	f := func(ins, dels []uint16) bool {
+		l := New[struct{}]()
+		want := map[uint64]bool{}
+		for _, k := range ins {
+			l.Insert(uint64(k), struct{}{})
+			want[uint64(k)] = true
+		}
+		for _, k := range dels {
+			l.Delete(uint64(k))
+			delete(want, uint64(k))
+		}
+		if l.Len() != len(want) || l.Validate() != nil {
+			return false
+		}
+		for k := range want {
+			if !l.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockFreeLookupDuringWrites mirrors the BONSAI concurrency test:
+// stable keys must never be missed by lock-free lookups racing the
+// writer.
+func TestLockFreeLookupDuringWrites(t *testing.T) {
+	l := New[int]()
+	const stable = 256
+	for i := 0; i < stable; i++ {
+		l.Insert(uint64(i)*100, i)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(stable)) * 100
+				if v, ok := l.Lookup(k); !ok || v != int(k/100) {
+					t.Errorf("lost stable key %d (got %d,%v)", k, v, ok)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(stable*100)) | 1 // odd keys only
+		if rng.Intn(2) == 0 {
+			l.Insert(k, i)
+		} else {
+			l.Delete(k)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Series {
+	s := &Series{Title: "T", XLabel: "Cores", YLabel: "Jobs", X: []float64{1, 2, 4}}
+	s.AddLine("a", []float64{10, 20, 40})
+	s.AddLine("b", []float64{10, 15, 17})
+	return s
+}
+
+func TestAddLineLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched line")
+		}
+	}()
+	s := &Series{X: []float64{1, 2}}
+	s.AddLine("bad", []float64{1})
+}
+
+func TestCSV(t *testing.T) {
+	got := sample().CSV()
+	want := "Cores,a,b\n1,10,10\n2,20,15\n4,40,17\n"
+	if got != want {
+		t.Fatalf("CSV:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	s := &Series{XLabel: `x,"y"`, X: []float64{1}}
+	s.AddLine("a", []float64{2})
+	if !strings.HasPrefix(s.CSV(), `"x,""y""",a`) {
+		t.Fatalf("CSV escaping: %q", s.CSV())
+	}
+}
+
+func TestTableString(t *testing.T) {
+	out := sample().TableString()
+	for _, want := range []string{"Cores", "a", "b", "40", "17"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartContainsMarkersAndLegend(t *testing.T) {
+	out := sample().Chart(40, 10)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("chart missing markers:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("chart missing legend:\n%s", out)
+	}
+	if len(strings.Split(out, "\n")) < 12 {
+		t.Fatalf("chart too short:\n%s", out)
+	}
+}
+
+func TestLinesAndY(t *testing.T) {
+	s := sample()
+	if got := s.Lines(); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("Lines = %v", got)
+	}
+	if y := s.Y("b"); y == nil || y[2] != 17 {
+		t.Fatalf("Y(b) = %v", y)
+	}
+	if s.Y("missing") != nil {
+		t.Fatal("Y(missing) non-nil")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		7400:     "7,400",
+		20e6:     "20,000,000",
+		3.4:      "3.40",
+		0.351:    "0.351",
+		-1234567: "-1,234,567",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := &Table{Title: "Table 1", Columns: []string{"App", "user"}}
+	tb.AddRow("Metis", "150 s")
+	out := tb.String()
+	if !strings.Contains(out, "Metis") || !strings.Contains(out, "150 s") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad row")
+		}
+	}()
+	tb.AddRow("only-one-cell")
+}
+
+func TestMeanPercentile(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	if Mean(v) != 3 {
+		t.Fatalf("Mean = %g", Mean(v))
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if p := Percentile(v, 50); p != 3 {
+		t.Fatalf("P50 = %g", p)
+	}
+	if p := Percentile(v, 100); p != 5 {
+		t.Fatalf("P100 = %g", p)
+	}
+	if p := Percentile(v, 0); p != 1 {
+		t.Fatalf("P0 = %g", p)
+	}
+}

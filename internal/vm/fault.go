@@ -1,0 +1,325 @@
+package vm
+
+import (
+	"bonsai/internal/pagetable"
+	"bonsai/internal/physmem"
+	"bonsai/internal/vma"
+)
+
+// Fault handles a soft page fault at addr (write indicates the access
+// type), installing a page-table entry so the access can proceed. It
+// returns ErrSegv if no mapping covers addr and ErrAccess on a
+// protection violation.
+//
+// The synchronization followed depends on the design:
+//
+//	RWLock    — mmap_sem read-locked for the whole fault (§4.1).
+//	FaultLock — fault lock read-locked for the whole fault (§5.1).
+//	Hybrid    — no semaphore; RCU + treeSem around the tree lookup (§5.2).
+//	PureRCU   — no semaphore and no tree lock: BONSAI lookup (§5.3).
+func (c *CPU) Fault(addr uint64, write bool) error {
+	as := c.as
+	if addr >= MaxAddress {
+		return ErrSegv
+	}
+	page := pageDown(addr)
+	as.stats.faults.Add(1)
+
+	switch as.cfg.Design {
+	case RWLock:
+		as.mmapSem.RLock()
+		err := c.faultLocked(page, write)
+		as.mmapSem.RUnlock()
+		if err == errRetrySlow {
+			return c.faultSlow(page, write, retryMiss)
+		}
+		return err
+	case FaultLock:
+		as.faultSem.RLock()
+		err := c.faultLocked(page, write)
+		as.faultSem.RUnlock()
+		if err == errRetrySlow {
+			return c.faultSlow(page, write, retryMiss)
+		}
+		return err
+	default:
+		return c.faultRCU(page, write)
+	}
+}
+
+// errRetrySlow is an internal sentinel: the fast path could not finish
+// and the fault must be retried with mmap_sem held.
+var errRetrySlow = &retryError{kind: "race"}
+
+// errRetryCow marks the copy-on-write hard case: the fault must retry
+// with the lock held, where the COW break is permitted (§6).
+var errRetryCow = &retryError{kind: "cow"}
+
+// retryError carries a kind so the two sentinels are distinct values
+// (pointers to zero-size values may compare equal in Go).
+type retryError struct{ kind string }
+
+func (e *retryError) Error() string { return "vm: fault must retry with mmap_sem (" + e.kind + ")" }
+
+// retryReason classifies slow-path retries for the statistics the paper
+// reports in §6–7.
+type retryReason int
+
+const (
+	retryMiss     retryReason = iota // no VMA found (miss, split race, or stack growth)
+	retryFillRace                    // §5.2 page-table fill race detected
+	retryFile                        // file-backed hard case (§6)
+	retryCow                         // copy-on-write hard case (§6)
+)
+
+// faultLocked is the fault fast path for the lock-based designs: the
+// caller holds a read lock that excludes all mapping-operation
+// mutations, so no recheck is needed.
+func (c *CPU) faultLocked(page uint64, write bool) error {
+	as := c.as
+	v := as.lookupCached(page)
+	if v == nil {
+		return errRetrySlow // segfault or stack growth: needs write lock
+	}
+	if err := checkProt(v, write); err != nil {
+		return err
+	}
+	return c.fillPage(v, page, write, nil, true)
+}
+
+// faultRCU is the fault fast path for the Hybrid and PureRCU designs
+// (§5.2–5.3). It runs inside an RCU read-side critical section, takes
+// no semaphore, and revalidates the VMA under the PTE lock before
+// filling (the fill-race double check). Any anomaly falls back to
+// faultSlow, which retries with mmap_sem held to guarantee progress.
+func (c *CPU) faultRCU(page uint64, write bool) error {
+	as := c.as
+	c.rd.Lock()
+
+	v := as.lookupRCU(page)
+	if v == nil || !v.Contains(page) {
+		// Miss: a real segfault, a stack region to grow, or the
+		// transient window of a VMA split (Figure 10).
+		c.rd.Unlock()
+		return c.faultSlow(page, write, retryMiss)
+	}
+	if err := checkProt(v, write); err != nil {
+		c.rd.Unlock()
+		return err
+	}
+	if v.File() != nil {
+		// Hard case: the implementation handles file-backed and COW
+		// faults by retrying with the lock held (§6).
+		c.rd.Unlock()
+		return c.faultSlow(page, write, retryFile)
+	}
+
+	// Revalidate under the PTE lock: "the page fault handler
+	// double-checks that the VMA has not been marked as deleted and
+	// that the faulting address still falls within the VMA's bounds"
+	// (§5.2).
+	err := c.fillPage(v, page, write, func() bool { return v.Contains(page) }, false)
+	c.rd.Unlock()
+	switch err {
+	case errRetrySlow:
+		return c.faultSlow(page, write, retryFillRace)
+	case errRetryCow:
+		return c.faultSlow(page, write, retryCow)
+	}
+	return err
+}
+
+// faultSlow retries the fault with mmap_sem held (§5.2: "we detect
+// inconsistencies and restart the page fault handler, this time with
+// the mmap_sem held to ensure progress"). Misses escalate to the write
+// lock to handle stack growth.
+func (c *CPU) faultSlow(page uint64, write bool, reason retryReason) error {
+	as := c.as
+	as.stats.retry(reason)
+
+	as.mmapSem.RLock()
+	v := as.idx.floorLocked(page)
+	if v != nil && v.Contains(page) {
+		if err := checkProt(v, write); err != nil {
+			as.mmapSem.RUnlock()
+			return err
+		}
+		// Mapping operations hold mmap_sem in write mode in every
+		// design, so no recheck is needed here; concurrent RCU faults
+		// are handled by the present-PTE check under the PTE lock.
+		err := c.fillPage(v, page, write, nil, true)
+		as.mmapSem.RUnlock()
+		return err
+	}
+	as.mmapSem.RUnlock()
+
+	// Still unmapped: grow a stack region or fail. Stack growth mutates
+	// the region tree, which requires the write lock (and the fault
+	// lock's mutation phase in the FaultLock design).
+	as.mmapSem.Lock()
+	defer as.mmapSem.Unlock()
+	v = as.idx.floorLocked(page)
+	if v == nil || !v.Contains(page) {
+		grown, err := as.growStackLocked(page)
+		if err != nil {
+			return err
+		}
+		v = grown
+	}
+	if err := checkProt(v, write); err != nil {
+		return err
+	}
+	return c.fillPage(v, page, write, nil, true)
+}
+
+// growStackLocked grows a Stack VMA downward to cover page (§6 handles
+// Linux's stack guard machinery with the same retry-with-locking
+// mechanism; here growth itself runs under the write lock). The tree is
+// keyed by start, so growth re-indexes the VMA: remove, adjust, insert.
+// Lock-free readers can transiently miss it and retry — by the time
+// they reacquire mmap_sem the VMA is back.
+func (as *AddressSpace) growStackLocked(page uint64) (*vma.VMA, error) {
+	v := as.idx.ceilingLocked(page)
+	if v == nil || v.Flags()&vma.Stack == 0 || v.Deleted() {
+		return nil, ErrSegv
+	}
+	if v.Start()-page > as.cfg.MaxStackGrowth {
+		return nil, ErrSegv
+	}
+	// Keep one guard page between the stack and the mapping below.
+	if below := as.idx.floorLocked(page); below != nil && below.End() > page-PageSize {
+		return nil, ErrSegv
+	}
+	as.beginMutate()
+	defer as.endMutate()
+	as.idx.remove(v.Start())
+	v.SetStart(page)
+	as.idx.insert(v)
+	as.mmapCache.Store(nil)
+	as.stats.stackGrowths.Add(1)
+	return v, nil
+}
+
+// checkProt validates the access type against the mapping protection.
+func checkProt(v *vma.VMA, write bool) error {
+	if write {
+		if v.Prot()&vma.ProtWrite == 0 {
+			return ErrAccess
+		}
+	} else if v.Prot()&vma.ProtRead == 0 {
+		return ErrAccess
+	}
+	return nil
+}
+
+// fillPage installs or upgrades the PTE for page under the PTE lock,
+// allocating and initializing a frame if the entry is empty and
+// breaking copy-on-write when a write hits a COW page. recheck, when
+// non-nil, is the §5.2 double check run under the PTE lock. allowCow
+// selects whether COW breaks happen here (the lock-held paths) or force
+// a retry-with-lock (the RCU fast path, per §6: "for ... copy-on-write
+// faults, the implementation retries the page fault with the lock
+// held"). On a detected race fillPage returns errRetrySlow.
+func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool, allowCow bool) error {
+	as := c.as
+	pt, err := as.tables.EnsureTable(c.id, page)
+	if err != nil {
+		return ErrNoMemory
+	}
+	makeCopy := func(old uint64) (uint64, error) { return c.cowBreak(old) }
+	if !allowCow {
+		makeCopy = nil
+	}
+	res, err := as.tables.FillOrUpgrade(page, pt, write, recheck, func() (uint64, error) {
+		frame, err := as.alloc.Alloc(c.id)
+		if err != nil {
+			return 0, err
+		}
+		as.initPage(v, page, frame)
+		return pagetable.MakePTE(frame, v.Prot()&vma.ProtWrite != 0), nil
+	}, makeCopy)
+	if err != nil {
+		return ErrNoMemory
+	}
+	switch res {
+	case pagetable.FillRecheckFailed:
+		return errRetrySlow // fill race detected by the double check
+	case pagetable.FillNeedsUpgrade:
+		return errRetryCow // COW hard case: service with the lock held
+	case pagetable.FillInstalled:
+		as.stats.pagesMapped.Add(1)
+	case pagetable.FillUpgraded:
+		as.stats.cowBreaks.Add(1)
+	default:
+		as.stats.faultsAlreadyMapped.Add(1) // a concurrent fault won
+	}
+	return nil
+}
+
+// initPage fills a freshly allocated page's contents: zeros for
+// anonymous memory (the allocator pre-zeroes), or the backing file's
+// deterministic pattern for file mappings.
+func (as *AddressSpace) initPage(v *vma.VMA, page uint64, frame physmem.Frame) {
+	if !as.cfg.Backing || v.File() == nil {
+		return
+	}
+	b := v.File().PageByte(v.FileOffset(page))
+	data := as.alloc.Data(frame)
+	for i := range data {
+		data[i] = b
+	}
+}
+
+// Translate performs a lock-free page-table walk and returns the
+// physical address mapping addr, if present. Callers that may race
+// with munmap should hold an RCU read section via TranslateRCU.
+func (as *AddressSpace) Translate(addr uint64) (uint64, bool) {
+	if addr >= MaxAddress {
+		return 0, false
+	}
+	pte, ok := as.tables.Walk(pageDown(addr))
+	if !ok {
+		return 0, false
+	}
+	return uint64(pagetable.PTEFrame(pte))<<12 | (addr & (PageSize - 1)), true
+}
+
+// lookupRCU is the RCU fault path's VMA lookup: the design's tree read
+// (lock-free for PureRCU, treeSem-protected for Hybrid), optionally
+// going through the mmap cache when the §6 ablation forces it on —
+// every fault then writes the shared cache line, which is exactly the
+// coherence cost the paper measured before disabling it.
+func (as *AddressSpace) lookupRCU(page uint64) *vma.VMA {
+	if as.mmapCacheOn {
+		if v := as.mmapCache.Load(); v != nil && v.Contains(page) {
+			as.stats.cacheHits.Add(1)
+			return v
+		}
+	}
+	v := as.idx.floorRead(page)
+	if as.mmapCacheOn && v != nil && v.Contains(page) {
+		as.stats.cacheMisses.Add(1)
+		as.mmapCache.Store(v)
+	}
+	return v
+}
+
+// lookupCached looks up the VMA containing page through the mmap cache
+// (§6) when enabled, falling back to the tree.
+func (as *AddressSpace) lookupCached(page uint64) *vma.VMA {
+	if as.mmapCacheOn {
+		if v := as.mmapCache.Load(); v != nil && v.Contains(page) {
+			as.stats.cacheHits.Add(1)
+			return v
+		}
+	}
+	v := as.idx.floorLocked(page)
+	if v == nil || !v.Contains(page) {
+		return nil
+	}
+	if as.mmapCacheOn {
+		as.stats.cacheMisses.Add(1)
+		as.mmapCache.Store(v)
+	}
+	return v
+}

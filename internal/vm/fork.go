@@ -1,0 +1,93 @@
+package vm
+
+import (
+	"bonsai/internal/pagetable"
+	"bonsai/internal/physmem"
+	"bonsai/internal/vma"
+)
+
+// Fork duplicates the address space, as the fork system call does:
+//
+//   - the child gets copies of every region;
+//   - pages of Shared mappings are shared read-write;
+//   - pages of private writable mappings are shared copy-on-write: both
+//     sides' PTEs become read-only with the COW mark, and the first
+//     write fault on either side copies the page (§6's copy-on-write
+//     hard case, serviced by retry-with-lock in the RCU designs);
+//   - read-only pages are shared outright.
+//
+// The child shares the parent's physical allocator and RCU domain (a
+// family); page frames carry reference counts and return to the pool
+// when the last sharer unmaps them. Fork holds the parent's mmap_sem in
+// write mode; parent faults that race with it either land before the
+// COW downgrade (the child sees the faulted page) or retry and fault a
+// private page afterward — both are valid fork outcomes.
+func (as *AddressSpace) Fork() (*AddressSpace, error) {
+	child, err := newMember(as.cfg, as.fam)
+	if err != nil {
+		return nil, err
+	}
+
+	as.mmapSem.Lock()
+	defer as.mmapSem.Unlock()
+	as.beginMutate()
+	defer as.endMutate()
+	as.stats.forks.Add(1)
+
+	var cloneErr error
+	as.idx.ascendRangeLocked(0, MaxAddress, func(v *vma.VMA) bool {
+		lo, hi := v.Start(), v.End()
+		var off uint64
+		if v.File() != nil {
+			off = v.FileOffset(lo)
+		}
+		child.idx.insert(vma.New(lo, hi, v.Prot(), v.Flags(), v.File(), off))
+
+		// Private mappings go copy-on-write (even currently read-only
+		// ones, so a later mprotect-to-writable cannot alias stores);
+		// Shared mappings share pages verbatim.
+		cow := v.Flags()&vma.Shared == 0
+		cloneErr = as.tables.CloneRange(as.mapCPU, child.tables, lo, hi, cow,
+			func(f physmem.Frame) { as.alloc.Ref(f) })
+		return cloneErr == nil
+	})
+	if cloneErr != nil {
+		// Unwind the partially built child.
+		child.mmapSem.Lock()
+		child.beginMutate()
+		child.munmapLocked(0, MaxAddress)
+		child.endMutate()
+		child.mmapSem.Unlock()
+		child.tables.ReleaseRoot(child.mapCPU)
+		as.fam.live.Add(-1)
+		return nil, cloneErr
+	}
+	return child, nil
+}
+
+// cowBreak builds the replacement PTE for a copy-on-write page: if this
+// address space holds the only reference, the page is re-owned in place
+// (no copy); otherwise a fresh frame is allocated, the contents copied,
+// and the shared frame's reference dropped after a grace period. It
+// runs under the PTE lock via FillOrUpgrade.
+func (c *CPU) cowBreak(old uint64) (uint64, error) {
+	as := c.as
+	oldFrame := pagetable.PTEFrame(old)
+	if as.alloc.Refs(oldFrame) == 1 {
+		// Sole owner: make it writable again in place.
+		as.stats.cowReowned.Add(1)
+		return pagetable.MakePTE(oldFrame, true), nil
+	}
+	newFrame, err := as.alloc.Alloc(c.id)
+	if err != nil {
+		return 0, err
+	}
+	if as.cfg.Backing {
+		*as.alloc.Data(newFrame) = *as.alloc.Data(oldFrame)
+	}
+	as.stats.cowCopies.Add(1)
+	// The old frame may still be reachable by lock-free readers of this
+	// address space until a grace period passes.
+	as.dom.Defer(func() { as.alloc.FreeRemote(oldFrame) })
+	return pagetable.MakePTE(newFrame, true), nil
+}

@@ -1,0 +1,150 @@
+package vm
+
+import (
+	"bonsai/internal/core"
+	"bonsai/internal/locks"
+	"bonsai/internal/rbtree"
+	"bonsai/internal/rcu"
+	"bonsai/internal/vma"
+)
+
+// regionIndex is the region tree of Figure 1, keyed by VMA start
+// address. Mutations are always serialized by mmap_sem (every design
+// holds it in write mode for mapping operations); what varies is how
+// the *fault path* reads the tree:
+//
+//   - RWLock/FaultLock: under a read-mode semaphore that excludes
+//     writers, so a plain red-black tree needs no further locking.
+//   - Hybrid: under the dedicated treeSem read lock (§5.2).
+//   - PureRCU: with no lock at all, which requires the BONSAI tree.
+type regionIndex interface {
+	// insert adds a VMA (writer side).
+	insert(v *vma.VMA)
+	// remove deletes the VMA keyed by start (writer side).
+	remove(start uint64)
+	// floorRead returns the VMA with the greatest start <= addr, using
+	// the design's fault-path synchronization.
+	floorRead(addr uint64) *vma.VMA
+	// floorLocked is floorRead for callers already holding mmap_sem.
+	floorLocked(addr uint64) *vma.VMA
+	// ceilingLocked returns the VMA with the smallest start >= addr
+	// (writer side; used for gap search and stack growth).
+	ceilingLocked(addr uint64) *vma.VMA
+	// ascendRangeLocked visits VMAs with start in [lo, hi) in order
+	// (writer side).
+	ascendRangeLocked(lo, hi uint64, fn func(*vma.VMA) bool)
+	// count returns the number of regions.
+	count() int
+}
+
+func newRegionIndex(d Design, weight int, treeSem *locks.RWSem, dom *rcu.Domain) regionIndex {
+	switch d {
+	case PureRCU:
+		return &bonsaiIndex{t: core.NewTree[*vma.VMA](core.Options{
+			Weight:        weight,
+			UpdateInPlace: true,
+			Domain:        dom,
+		})}
+	case Hybrid:
+		return &rbIndex{t: rbtree.New[*vma.VMA](), sem: treeSem}
+	default:
+		return &rbIndex{t: rbtree.New[*vma.VMA]()}
+	}
+}
+
+// rbIndex wraps the mutable red-black tree. When sem is non-nil
+// (Hybrid), tree accesses take it; mutations additionally assume
+// mmap_sem is write-held.
+type rbIndex struct {
+	t   *rbtree.Tree[*vma.VMA]
+	sem *locks.RWSem // nil for RWLock/FaultLock
+}
+
+func (i *rbIndex) insert(v *vma.VMA) {
+	if i.sem != nil {
+		i.sem.Lock()
+		defer i.sem.Unlock()
+	}
+	i.t.Insert(v.Start(), v)
+}
+
+func (i *rbIndex) remove(start uint64) {
+	if i.sem != nil {
+		i.sem.Lock()
+		defer i.sem.Unlock()
+	}
+	i.t.Delete(start)
+}
+
+func (i *rbIndex) floorRead(addr uint64) *vma.VMA {
+	if i.sem != nil {
+		i.sem.RLock()
+		defer i.sem.RUnlock()
+	}
+	_, v, ok := i.t.Floor(addr)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+func (i *rbIndex) floorLocked(addr uint64) *vma.VMA {
+	// mmap_sem (write or read) excludes tree writers in the lock-based
+	// designs; in Hybrid, mmap_sem write-holders are the only mutators,
+	// but a concurrent *fault* may be reading — reads don't conflict
+	// with reads, and mutation only happens under both sems, so reading
+	// here without treeSem is safe for mmap_sem holders.
+	_, v, ok := i.t.Floor(addr)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+func (i *rbIndex) ceilingLocked(addr uint64) *vma.VMA {
+	_, v, ok := i.t.Ceiling(addr)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+func (i *rbIndex) ascendRangeLocked(lo, hi uint64, fn func(*vma.VMA) bool) {
+	i.t.AscendRange(lo, hi, func(_ uint64, v *vma.VMA) bool { return fn(v) })
+}
+
+func (i *rbIndex) count() int { return i.t.Len() }
+
+// bonsaiIndex wraps the BONSAI tree: fault-path reads are lock-free;
+// mutations rely on mmap_sem and use the *Locked variants.
+type bonsaiIndex struct {
+	t *core.Tree[*vma.VMA]
+}
+
+func (i *bonsaiIndex) insert(v *vma.VMA) { i.t.InsertLocked(v.Start(), v) }
+
+func (i *bonsaiIndex) remove(start uint64) { i.t.DeleteLocked(start) }
+
+func (i *bonsaiIndex) floorRead(addr uint64) *vma.VMA {
+	_, v, ok := i.t.Floor(addr)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+func (i *bonsaiIndex) floorLocked(addr uint64) *vma.VMA { return i.floorRead(addr) }
+
+func (i *bonsaiIndex) ceilingLocked(addr uint64) *vma.VMA {
+	_, v, ok := i.t.Ceiling(addr)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+func (i *bonsaiIndex) ascendRangeLocked(lo, hi uint64, fn func(*vma.VMA) bool) {
+	i.t.AscendRange(lo, hi, func(_ uint64, v *vma.VMA) bool { return fn(v) })
+}
+
+func (i *bonsaiIndex) count() int { return i.t.Len() }

@@ -1,0 +1,46 @@
+package vm
+
+import "bonsai/internal/pagetable"
+
+// MadviseDontNeed discards the pages of [addr, addr+length), as
+// madvise(MADV_DONTNEED) does: the regions stay mapped, but every
+// present page in the range is zapped (its frame RCU-delay-freed,
+// exactly like the Figure 11 unmap scan), so the next access faults a
+// fresh demand-zero or file-backed page. Unmapped gaps in the range
+// are permitted, as in Linux.
+//
+// Concurrency is the munmap protocol minus the region-tree changes:
+// the operation holds mmap_sem in write mode (and the fault lock's
+// mutation phase under FaultLock), clears PTEs under the PTE locks,
+// and defers frame frees past a grace period. Racing lock-free faults
+// are benign: a fault that fills just before the zap loses its page to
+// the zap; one that fills just after keeps it — both are legal
+// MADV_DONTNEED outcomes.
+func (as *AddressSpace) MadviseDontNeed(addr, length uint64) error {
+	if addr%PageSize != 0 || length == 0 {
+		return ErrInvalid
+	}
+	length = pageUp(length)
+	if addr >= MaxAddress || length > MaxAddress-addr {
+		return ErrInvalid
+	}
+	as.mmapSem.Lock()
+	defer as.mmapSem.Unlock()
+	as.stats.madvises.Add(1)
+
+	as.beginMutate()
+	defer as.endMutate()
+	as.zapRange(addr, addr+length)
+	return nil
+}
+
+// zapRange clears the translations of [lo, hi), retiring page frames
+// through the RCU domain. Caller holds mmap_sem in write mode and has
+// entered the mutation phase.
+func (as *AddressSpace) zapRange(lo, hi uint64) {
+	as.tables.UnmapRange(as.mapCPU, lo, hi, func(pte uint64) {
+		frame := pagetable.PTEFrame(pte)
+		as.stats.pagesUnmapped.Add(1)
+		as.dom.Defer(func() { as.alloc.FreeRemote(frame) })
+	})
+}

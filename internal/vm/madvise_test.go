@@ -1,0 +1,103 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"bonsai/internal/vma"
+)
+
+func TestMadviseDontNeedZapsButKeepsMapping(t *testing.T) {
+	forEachDesign(t, Config{CPUs: 1, Backing: true}, func(t *testing.T, as *AddressSpace) {
+		cpu := as.NewCPU(0)
+		base := mustMmap(t, as, 0, 8*PageSize, vma.ProtRead|vma.ProtWrite, 0)
+		if err := cpu.WriteBytes(base, []byte{0xAA}); err != nil {
+			t.Fatal(err)
+		}
+		if err := as.MadviseDontNeed(base, 8*PageSize); err != nil {
+			t.Fatal(err)
+		}
+		// Translation gone, region intact.
+		if _, ok := as.Translate(base); ok {
+			t.Fatal("translation survived MADV_DONTNEED")
+		}
+		if as.RegionCount() != 1 {
+			t.Fatal("region vanished")
+		}
+		// Next access demand-zeroes.
+		buf := make([]byte, 1)
+		if err := cpu.ReadBytes(base, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != 0 {
+			t.Fatalf("page not rezeroed: %#x", buf[0])
+		}
+		if st := as.Stats(); st.Madvises != 1 || st.PagesUnmapped == 0 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
+}
+
+func TestMadvisePartialAndGaps(t *testing.T) {
+	forEachDesign(t, Config{CPUs: 1}, func(t *testing.T, as *AddressSpace) {
+		cpu := as.NewCPU(0)
+		addr := UnmappedBase + 0x700000
+		mustMmap(t, as, addr, 2*PageSize, vma.ProtRead|vma.ProtWrite, vma.Fixed)
+		mustMmap(t, as, addr+4*PageSize, 2*PageSize, vma.ProtRead|vma.ProtWrite, vma.Fixed)
+		for _, off := range []uint64{0, PageSize, 4 * PageSize, 5 * PageSize} {
+			if err := cpu.Fault(addr+off, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Advise across the gap: allowed; zaps both sides, keeps both
+		// regions, and leaves page 1 and 5 alone? No — the range covers
+		// pages 1..4: zap page 1 and page 4 only.
+		if err := as.MadviseDontNeed(addr+PageSize, 4*PageSize); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := as.Translate(addr); !ok {
+			t.Fatal("page 0 zapped outside the range")
+		}
+		if _, ok := as.Translate(addr + PageSize); ok {
+			t.Fatal("page 1 not zapped")
+		}
+		if _, ok := as.Translate(addr + 4*PageSize); ok {
+			t.Fatal("page 4 not zapped")
+		}
+		if _, ok := as.Translate(addr + 5*PageSize); !ok {
+			t.Fatal("page 5 zapped outside the range")
+		}
+		if as.RegionCount() != 2 {
+			t.Fatal("regions changed")
+		}
+	})
+}
+
+func TestMadviseInvalidArgs(t *testing.T) {
+	forEachDesign(t, Config{CPUs: 1}, func(t *testing.T, as *AddressSpace) {
+		if err := as.MadviseDontNeed(123, PageSize); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("unaligned: %v", err)
+		}
+		if err := as.MadviseDontNeed(0, 0); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("zero length: %v", err)
+		}
+	})
+}
+
+func TestMadviseFrameAccounting(t *testing.T) {
+	// MADV_DONTNEED in a loop must not leak frames (Close verifies).
+	forEachDesign(t, Config{CPUs: 1}, func(t *testing.T, as *AddressSpace) {
+		cpu := as.NewCPU(0)
+		base := mustMmap(t, as, 0, 32*PageSize, vma.ProtRead|vma.ProtWrite, 0)
+		for round := 0; round < 10; round++ {
+			for i := uint64(0); i < 32; i++ {
+				if err := cpu.Fault(base+i*PageSize, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := as.MadviseDontNeed(base, 32*PageSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

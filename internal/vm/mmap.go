@@ -1,0 +1,190 @@
+package vm
+
+import (
+	"bonsai/internal/vma"
+)
+
+// Mmap creates a mapping of length bytes and returns its base address.
+//
+// If flags includes vma.Fixed, the mapping is placed exactly at addr
+// (which must be page-aligned) and silently replaces any existing
+// mappings there, as MAP_FIXED does. Otherwise addr is a hint and the
+// kernel picks the first free range at or above it (or UnmappedBase).
+//
+// An anonymous mapping adjacent and compatible with an existing region
+// extends that region instead of creating a new one (§4: "an mmap
+// adjacent to an existing VMA may simply extend that VMA").
+func (as *AddressSpace) Mmap(addr, length uint64, prot vma.Prot, flags vma.Flags,
+	file *vma.File, fileOff uint64) (uint64, error) {
+	if length == 0 {
+		return 0, ErrInvalid
+	}
+	length = pageUp(length)
+	if flags&vma.Fixed != 0 {
+		if addr%PageSize != 0 {
+			return 0, ErrInvalid
+		}
+		if addr >= MaxAddress || length > MaxAddress-addr {
+			return 0, ErrInvalid
+		}
+	}
+	if file == nil {
+		flags |= vma.Anon
+	}
+
+	as.mmapSem.Lock()
+	defer as.mmapSem.Unlock()
+	as.stats.mmaps.Add(1)
+
+	var base uint64
+	if flags&vma.Fixed != 0 {
+		base = addr
+	} else {
+		// Planning phase: read-only search for a free range. In the
+		// FaultLock design faults proceed concurrently with this (§5.1).
+		var ok bool
+		base, ok = as.findGapLocked(pageDown(addr), length)
+		if !ok {
+			return 0, ErrNoMemory
+		}
+	}
+
+	as.beginMutate()
+	defer as.endMutate()
+
+	if flags&vma.Fixed != 0 {
+		// MAP_FIXED replaces whatever was there.
+		as.munmapLocked(base, base+length)
+	}
+
+	// Try to extend the adjacent predecessor rather than insert.
+	if pred := as.idx.floorLocked(base - 1); pred != nil && base > 0 &&
+		pred.End() == base && pred.CanMerge(prot, flags, file, fileOff) {
+		pred.SetEnd(base + length)
+		as.stats.merges.Add(1)
+		return base, nil
+	}
+
+	as.idx.insert(vma.New(base, base+length, prot, flags, file, fileOff))
+	return base, nil
+}
+
+// findGapLocked finds the lowest free [base, base+length) with
+// base >= max(hint, UnmappedBase). Caller holds mmap_sem.
+func (as *AddressSpace) findGapLocked(hint, length uint64) (uint64, bool) {
+	start := hint
+	if start < UnmappedBase {
+		start = UnmappedBase
+	}
+	// A region straddling start pushes it up.
+	if v := as.idx.floorLocked(start); v != nil && v.End() > start {
+		start = v.End()
+	}
+	for {
+		next := as.idx.ceilingLocked(start)
+		if next == nil {
+			break
+		}
+		if next.Start()-start >= length {
+			return start, true
+		}
+		start = next.End()
+	}
+	if start >= MaxAddress || MaxAddress-start < length {
+		return 0, false
+	}
+	return start, true
+}
+
+// Munmap removes all mappings intersecting [addr, addr+length). Both
+// addr and length must be page-aligned (length is rounded up). Like the
+// system call, unmapping a range with no mappings succeeds.
+func (as *AddressSpace) Munmap(addr, length uint64) error {
+	if addr%PageSize != 0 || length == 0 {
+		return ErrInvalid
+	}
+	length = pageUp(length)
+	if addr >= MaxAddress || length > MaxAddress-addr {
+		return ErrInvalid
+	}
+	as.mmapSem.Lock()
+	defer as.mmapSem.Unlock()
+	as.stats.munmaps.Add(1)
+
+	as.beginMutate()
+	defer as.endMutate()
+	as.munmapLocked(addr, addr+length)
+	return nil
+}
+
+// munmapLocked removes mappings in [lo, hi). The caller holds mmap_sem
+// in write mode and has entered the mutation phase.
+//
+// Region splitting follows Figure 10 exactly: when unmapping the middle
+// of a VMA, the existing VMA's end is adjusted first (time 2) and the
+// new top VMA is inserted second (time 3), so lock-free fault handlers
+// can transiently observe the top range as unmapped — the VMA split
+// race the RCU designs handle by retrying with mmap_sem held (§5.2).
+func (as *AddressSpace) munmapLocked(lo, hi uint64) {
+	// Collect overlapping regions: possibly one straddling lo, plus all
+	// with start in [lo, hi).
+	var overlaps []*vma.VMA
+	if v := as.idx.floorLocked(lo); v != nil && v.Start() < lo && v.Overlaps(lo, hi) {
+		overlaps = append(overlaps, v)
+	}
+	as.idx.ascendRangeLocked(lo, hi, func(v *vma.VMA) bool {
+		overlaps = append(overlaps, v)
+		return true
+	})
+
+	for _, v := range overlaps {
+		vLo, vHi := v.Start(), v.End()
+		cutLo, cutHi := vLo, vHi
+		if cutLo < lo {
+			cutLo = lo
+		}
+		if cutHi > hi {
+			cutHi = hi
+		}
+		switch {
+		case cutLo == vLo && cutHi == vHi:
+			// Fully covered: delete. The deleted mark is what the RCU
+			// fault path's double check reads (§5.2).
+			v.MarkDeleted()
+			as.idx.remove(vLo)
+		case cutLo == vLo:
+			// Head trim. The tree is keyed by start, so the region is
+			// replaced by a fresh VMA covering the tail.
+			nv := as.splitTail(v, cutHi, vHi)
+			v.MarkDeleted()
+			as.idx.remove(vLo)
+			as.idx.insert(nv)
+		case cutHi == vHi:
+			// Tail trim: Figure 10 time 2 — one atomic bound store.
+			v.SetEnd(cutLo)
+		default:
+			// Middle split: Figure 10 times 2 and 3, in that order.
+			nv := as.splitTail(v, cutHi, vHi)
+			v.SetEnd(cutLo)
+			as.idx.insert(nv)
+			as.stats.splits.Add(1)
+		}
+	}
+
+	// The cache may hold a deleted or trimmed VMA; drop it.
+	as.mmapCache.Store(nil)
+
+	// Zap the hardware page tables (Figure 11) and retire page frames
+	// after a grace period.
+	as.zapRange(lo, hi)
+}
+
+// splitTail builds the replacement VMA covering [newStart, end) of v,
+// preserving its attributes and file linkage.
+func (as *AddressSpace) splitTail(v *vma.VMA, newStart, end uint64) *vma.VMA {
+	var off uint64
+	if v.File() != nil {
+		off = v.FileOffset(newStart)
+	}
+	return vma.New(newStart, end, v.Prot(), v.Flags(), v.File(), off)
+}

@@ -1,0 +1,103 @@
+package vm
+
+import "bonsai/internal/vma"
+
+// Mprotect changes the protection of every whole page in
+// [addr, addr+length), splitting regions at the boundaries as the
+// system call does. Both addr and length must be page-aligned (length
+// is rounded up); unmapped gaps inside the range are an error
+// (ENOMEM), checked before any change is applied.
+//
+// Concurrency follows the same RCU recipe as munmap (§5.2): affected
+// VMAs are replaced — the old ones marked deleted — so lock-free fault
+// handlers holding a stale VMA fail their double check and retry with
+// the lock held, where they observe the new protection. A write-
+// protecting change also clears the writable bit of existing PTEs
+// under the PTE locks; a write-enabling change leaves PTEs read-only
+// and lets write faults upgrade them on demand.
+func (as *AddressSpace) Mprotect(addr, length uint64, prot vma.Prot) error {
+	if addr%PageSize != 0 || length == 0 {
+		return ErrInvalid
+	}
+	length = pageUp(length)
+	if addr >= MaxAddress || length > MaxAddress-addr {
+		return ErrInvalid
+	}
+	lo, hi := addr, addr+length
+
+	as.mmapSem.Lock()
+	defer as.mmapSem.Unlock()
+	as.stats.mprotects.Add(1)
+
+	// Planning phase: collect the overlapping regions and verify the
+	// range is fully mapped (POSIX mprotect fails with ENOMEM on gaps).
+	var overlaps []*vma.VMA
+	if v := as.idx.floorLocked(lo); v != nil && v.Start() < lo && v.Overlaps(lo, hi) {
+		overlaps = append(overlaps, v)
+	}
+	as.idx.ascendRangeLocked(lo, hi, func(v *vma.VMA) bool {
+		overlaps = append(overlaps, v)
+		return true
+	})
+	cursor := lo
+	for _, v := range overlaps {
+		if v.Start() > cursor {
+			return ErrSegv // gap inside the range
+		}
+		if v.End() > cursor {
+			cursor = v.End()
+		}
+	}
+	if cursor < hi {
+		return ErrSegv
+	}
+
+	as.beginMutate()
+	defer as.endMutate()
+
+	for _, v := range overlaps {
+		if v.Prot() == prot {
+			continue // nothing to change for this region
+		}
+		vLo, vHi := v.Start(), v.End()
+		cutLo, cutHi := vLo, vHi
+		if cutLo < lo {
+			cutLo = lo
+		}
+		if cutHi > hi {
+			cutHi = hi
+		}
+		// Replace the region with up to three pieces; the old VMA is
+		// marked deleted so stale lock-free lookups retry (§5.2).
+		v.MarkDeleted()
+		as.idx.remove(vLo)
+		if cutLo > vLo {
+			as.idx.insert(as.sliceVMA(v, vLo, cutLo, v.Prot()))
+		}
+		as.idx.insert(as.sliceVMA(v, cutLo, cutHi, prot))
+		if cutHi < vHi {
+			as.idx.insert(as.sliceVMA(v, cutHi, vHi, v.Prot()))
+		}
+		if cutLo > vLo || cutHi < vHi {
+			as.stats.splits.Add(1)
+		}
+	}
+	as.mmapCache.Store(nil)
+
+	// Revoke write access from existing translations if the new
+	// protection forbids writing.
+	if prot&vma.ProtWrite == 0 {
+		as.tables.WriteProtectRange(lo, hi)
+	}
+	return nil
+}
+
+// sliceVMA builds the piece [lo, hi) of v with the given protection,
+// preserving flags and file linkage.
+func (as *AddressSpace) sliceVMA(v *vma.VMA, lo, hi uint64, prot vma.Prot) *vma.VMA {
+	var off uint64
+	if v.File() != nil {
+		off = v.FileOffset(lo)
+	}
+	return vma.New(lo, hi, prot, v.Flags(), v.File(), off)
+}

@@ -1,0 +1,222 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"bonsai/internal/vma"
+)
+
+func TestMprotectBasics(t *testing.T) {
+	forEachDesign(t, Config{CPUs: 1}, func(t *testing.T, as *AddressSpace) {
+		cpu := as.NewCPU(0)
+		base := mustMmap(t, as, 0, 8*PageSize, vma.ProtRead|vma.ProtWrite, 0)
+		if err := cpu.Fault(base, true); err != nil {
+			t.Fatal(err)
+		}
+		// Downgrade everything to read-only.
+		if err := as.Mprotect(base, 8*PageSize, vma.ProtRead); err != nil {
+			t.Fatal(err)
+		}
+		if err := cpu.Fault(base, true); !errors.Is(err, ErrAccess) {
+			t.Fatalf("write after RO mprotect: %v", err)
+		}
+		if err := cpu.Fault(base, false); err != nil {
+			t.Fatalf("read after RO mprotect: %v", err)
+		}
+		// Upgrade back: writes work again (in-place PTE upgrade).
+		if err := as.Mprotect(base, 8*PageSize, vma.ProtRead|vma.ProtWrite); err != nil {
+			t.Fatal(err)
+		}
+		if err := cpu.Fault(base, true); err != nil {
+			t.Fatalf("write after RW mprotect: %v", err)
+		}
+		if st := as.Stats(); st.Mprotects != 2 {
+			t.Fatalf("Mprotects = %d", st.Mprotects)
+		}
+	})
+}
+
+func TestMprotectSplitsRegions(t *testing.T) {
+	forEachDesign(t, Config{CPUs: 1}, func(t *testing.T, as *AddressSpace) {
+		cpu := as.NewCPU(0)
+		base := mustMmap(t, as, 0, 9*PageSize, vma.ProtRead|vma.ProtWrite, 0)
+		// Protect the middle third read-only: three regions result.
+		if err := as.Mprotect(base+3*PageSize, 3*PageSize, vma.ProtRead); err != nil {
+			t.Fatal(err)
+		}
+		if n := as.RegionCount(); n != 3 {
+			t.Fatalf("RegionCount = %d, want 3", n)
+		}
+		for i := uint64(0); i < 9; i++ {
+			err := cpu.Fault(base+i*PageSize, true)
+			inRO := i >= 3 && i < 6
+			if inRO && !errors.Is(err, ErrAccess) {
+				t.Fatalf("page %d writable through RO window: %v", i, err)
+			}
+			if !inRO && err != nil {
+				t.Fatalf("page %d: %v", i, err)
+			}
+		}
+		regs := as.Regions()
+		if regs[0].Prot != vma.ProtRead|vma.ProtWrite || regs[1].Prot != vma.ProtRead ||
+			regs[2].Prot != vma.ProtRead|vma.ProtWrite {
+			t.Fatalf("protections after split: %v", regs)
+		}
+	})
+}
+
+func TestMprotectRevokesExistingTranslations(t *testing.T) {
+	forEachDesign(t, Config{CPUs: 1, Backing: true}, func(t *testing.T, as *AddressSpace) {
+		cpu := as.NewCPU(0)
+		base := mustMmap(t, as, 0, 2*PageSize, vma.ProtRead|vma.ProtWrite, 0)
+		if err := cpu.WriteBytes(base, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Mprotect(base, 2*PageSize, vma.ProtRead); err != nil {
+			t.Fatal(err)
+		}
+		// The software "hardware": the PTE itself must be read-only now.
+		if as.walkUsable(base, true) {
+			t.Fatal("PTE still writable after RO mprotect")
+		}
+		if !as.walkUsable(base, false) {
+			t.Fatal("PTE lost presence after RO mprotect")
+		}
+	})
+}
+
+func TestMprotectGapIsError(t *testing.T) {
+	forEachDesign(t, Config{CPUs: 1}, func(t *testing.T, as *AddressSpace) {
+		addr := UnmappedBase + 0x500000
+		mustMmap(t, as, addr, 2*PageSize, vma.ProtRead, vma.Fixed)
+		mustMmap(t, as, addr+4*PageSize, 2*PageSize, vma.ProtRead, vma.Fixed)
+		if err := as.Mprotect(addr, 6*PageSize, vma.ProtRead|vma.ProtWrite); !errors.Is(err, ErrSegv) {
+			t.Fatalf("mprotect across gap: %v", err)
+		}
+		// Nothing must have changed.
+		for _, r := range as.Regions() {
+			if r.Prot != vma.ProtRead {
+				t.Fatalf("partial mprotect applied: %v", r)
+			}
+		}
+		if err := as.Mprotect(addr, PageSize, vma.ProtRead); err != nil {
+			t.Fatalf("aligned in-bounds mprotect: %v", err)
+		}
+		if err := as.Mprotect(addr+1, PageSize, vma.ProtRead); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("unaligned mprotect: %v", err)
+		}
+	})
+}
+
+func TestMprotectForkInteraction(t *testing.T) {
+	// mprotect RO -> fork -> mprotect RW -> write: the write must break
+	// COW, not scribble on the frame shared with the child.
+	forEachDesign(t, Config{CPUs: 1, Backing: true}, func(t *testing.T, as *AddressSpace) {
+		cpu := as.NewCPU(0)
+		base := mustMmap(t, as, 0, PageSize, vma.ProtRead|vma.ProtWrite, 0)
+		if err := cpu.WriteBytes(base, []byte{0x11}); err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Mprotect(base, PageSize, vma.ProtRead); err != nil {
+			t.Fatal(err)
+		}
+		child, err := as.Fork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Mprotect(base, PageSize, vma.ProtRead|vma.ProtWrite); err != nil {
+			t.Fatal(err)
+		}
+		if err := cpu.WriteBytes(base, []byte{0x22}); err != nil {
+			t.Fatal(err)
+		}
+		ccpu := child.NewCPU(0)
+		buf := make([]byte, 1)
+		if err := ccpu.ReadBytes(base, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != 0x11 {
+			t.Fatalf("parent write leaked into forked child: %#x", buf[0])
+		}
+		if err := child.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestMprotectDuringConcurrentFaults(t *testing.T) {
+	forEachDesign(t, Config{CPUs: 3}, func(t *testing.T, as *AddressSpace) {
+		const pages = 128
+		base := mustMmap(t, as, 0, pages*PageSize, vma.ProtRead|vma.ProtWrite, 0)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for c := 0; c < 2; c++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				cpu := as.NewCPU(id)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					err := cpu.Fault(base+uint64(i%pages)*PageSize, true)
+					if err != nil && !errors.Is(err, ErrAccess) && !errors.Is(err, ErrSegv) {
+						t.Errorf("fault: %v", err)
+						return
+					}
+				}
+			}(c)
+		}
+		for round := 0; round < 100; round++ {
+			if err := as.Mprotect(base+32*PageSize, 64*PageSize, vma.ProtRead); err != nil {
+				t.Fatal(err)
+			}
+			if err := as.Mprotect(base+32*PageSize, 64*PageSize, vma.ProtRead|vma.ProtWrite); err != nil {
+				t.Fatal(err)
+			}
+		}
+		close(stop)
+		wg.Wait()
+		// End state: fully writable again; adjacent same-prot regions
+		// may remain split, but every page must accept writes.
+		cpu := as.NewCPU(2)
+		for i := uint64(0); i < pages; i++ {
+			if err := cpu.Fault(base+i*PageSize, true); err != nil {
+				t.Fatalf("page %d after storm: %v", i, err)
+			}
+		}
+	})
+}
+
+func TestMprotectWriteAfterDowngradeUpgradeKeepsData(t *testing.T) {
+	forEachDesign(t, Config{CPUs: 1, Backing: true}, func(t *testing.T, as *AddressSpace) {
+		cpu := as.NewCPU(0)
+		base := mustMmap(t, as, 0, PageSize, vma.ProtRead|vma.ProtWrite, 0)
+		msg := []byte("survives protection round trip")
+		if err := cpu.WriteBytes(base, msg); err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Mprotect(base, PageSize, vma.ProtRead); err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Mprotect(base, PageSize, vma.ProtRead|vma.ProtWrite); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(msg))
+		if err := cpu.ReadBytes(base, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("data lost: %q", got)
+		}
+		// And it is writable again.
+		if err := cpu.WriteBytes(base, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package vm
+
+import (
+	"sync/atomic"
+
+	"bonsai/internal/locks"
+)
+
+// statsCounters holds the address space's atomic counters.
+type statsCounters struct {
+	faults              atomic.Uint64
+	faultsAlreadyMapped atomic.Uint64
+	pagesMapped         atomic.Uint64
+	pagesUnmapped       atomic.Uint64
+	mmaps               atomic.Uint64
+	munmaps             atomic.Uint64
+	mprotects           atomic.Uint64
+	madvises            atomic.Uint64
+	merges              atomic.Uint64
+	splits              atomic.Uint64
+	stackGrowths        atomic.Uint64
+	retriesMiss         atomic.Uint64
+	retriesFillRace     atomic.Uint64
+	retriesFile         atomic.Uint64
+	retriesCow          atomic.Uint64
+	forks               atomic.Uint64
+	cowBreaks           atomic.Uint64
+	cowReowned          atomic.Uint64
+	cowCopies           atomic.Uint64
+	cacheHits           atomic.Uint64
+	cacheMisses         atomic.Uint64
+}
+
+func (s *statsCounters) retry(r retryReason) {
+	switch r {
+	case retryMiss:
+		s.retriesMiss.Add(1)
+	case retryFillRace:
+		s.retriesFillRace.Add(1)
+	case retryFile:
+		s.retriesFile.Add(1)
+	case retryCow:
+		s.retriesCow.Add(1)
+	}
+}
+
+// Stats is a snapshot of address-space activity, mirroring the
+// accounting the paper reports: fault counts, retry-with-lock events
+// (split races, fill races, hard cases), splits and merges, and mmap
+// cache behaviour (§6).
+type Stats struct {
+	Faults              uint64 // page faults handled
+	FaultsAlreadyMapped uint64 // faults that found the PTE already filled
+	PagesMapped         uint64
+	PagesUnmapped       uint64
+	Mmaps               uint64
+	Munmaps             uint64
+	Mprotects           uint64
+	Madvises            uint64
+	Merges              uint64 // mmaps that extended an adjacent VMA
+	Splits              uint64 // munmaps that split a VMA (Figure 10)
+	StackGrowths        uint64
+	RetriesMiss         uint64 // slow retries: lookup miss / split race
+	RetriesFillRace     uint64 // slow retries: §5.2 fill race double check
+	RetriesFile         uint64 // slow retries: file-backed hard case (§6)
+	RetriesCow          uint64 // slow retries: copy-on-write hard case (§6)
+	Forks               uint64
+	CowBreaks           uint64 // write faults that broke copy-on-write
+	CowReowned          uint64 // COW breaks resolved by re-owning (sole reference)
+	CowCopies           uint64 // COW breaks that copied the page
+	MmapCacheHits       uint64
+	MmapCacheMisses     uint64
+}
+
+// Retries returns the total slow-path retries.
+func (s Stats) Retries() uint64 {
+	return s.RetriesMiss + s.RetriesFillRace + s.RetriesFile + s.RetriesCow
+}
+
+// Stats returns a snapshot of the address space's counters.
+func (as *AddressSpace) Stats() Stats {
+	return Stats{
+		Faults:              as.stats.faults.Load(),
+		FaultsAlreadyMapped: as.stats.faultsAlreadyMapped.Load(),
+		PagesMapped:         as.stats.pagesMapped.Load(),
+		PagesUnmapped:       as.stats.pagesUnmapped.Load(),
+		Mmaps:               as.stats.mmaps.Load(),
+		Munmaps:             as.stats.munmaps.Load(),
+		Mprotects:           as.stats.mprotects.Load(),
+		Madvises:            as.stats.madvises.Load(),
+		Merges:              as.stats.merges.Load(),
+		Splits:              as.stats.splits.Load(),
+		StackGrowths:        as.stats.stackGrowths.Load(),
+		RetriesMiss:         as.stats.retriesMiss.Load(),
+		RetriesFillRace:     as.stats.retriesFillRace.Load(),
+		RetriesFile:         as.stats.retriesFile.Load(),
+		RetriesCow:          as.stats.retriesCow.Load(),
+		Forks:               as.stats.forks.Load(),
+		CowBreaks:           as.stats.cowBreaks.Load(),
+		CowReowned:          as.stats.cowReowned.Load(),
+		CowCopies:           as.stats.cowCopies.Load(),
+		MmapCacheHits:       as.stats.cacheHits.Load(),
+		MmapCacheMisses:     as.stats.cacheMisses.Load(),
+	}
+}
+
+// SemStats exposes the semaphore counters for contention analysis: how
+// often each lock was taken and how often acquisition had to sleep —
+// the accounting behind the paper's §7.2 lock-contention breakdown.
+func (as *AddressSpace) SemStats() (mmapSem, faultSem, treeSem locks.RWSemStats) {
+	return as.mmapSem.Stats(), as.faultSem.Stats(), as.treeSem.Stats()
+}

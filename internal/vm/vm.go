@@ -1,0 +1,325 @@
+// Package vm implements the concurrent address-space designs of §5: a
+// user-space reproduction of the Linux virtual memory system with the
+// paper's exact data structures (region tree + four-level page tables),
+// lock set (mmap_sem, fault lock, tree lock, page-directory lock,
+// per-page-table PTE locks), and race handling (VMA split race, page
+// table deallocation race, page table fill race, retry-with-lock).
+//
+// Four designs are provided, in increasing concurrency:
+//
+//	RWLock    — stock Linux: one read/write semaphore; faults read-lock,
+//	            mapping operations write-lock (§4.1).
+//	FaultLock — mapping operations hold mmap_sem for their whole run but
+//	            take a separate fault lock only around their mutation
+//	            phase, letting faults overlap their planning phase (§5.1).
+//	Hybrid    — faults take no mmap_sem at all: page tables and VMAs are
+//	            RCU-managed, and only the region tree keeps a read/write
+//	            lock (§5.2).
+//	PureRCU   — the region tree is the BONSAI tree, so the fault path is
+//	            entirely lock-free and touches no shared cache lines (§5.3).
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"bonsai/internal/locks"
+	"bonsai/internal/pagetable"
+	"bonsai/internal/physmem"
+	"bonsai/internal/rcu"
+	"bonsai/internal/vma"
+)
+
+// Design selects one of the four concurrency designs of §5.
+type Design int
+
+// The four designs, in the paper's order of increasing concurrency.
+const (
+	RWLock Design = iota
+	FaultLock
+	Hybrid
+	PureRCU
+)
+
+// Designs lists all four designs in presentation order.
+var Designs = []Design{RWLock, FaultLock, Hybrid, PureRCU}
+
+func (d Design) String() string {
+	switch d {
+	case RWLock:
+		return "Read/write locking"
+	case FaultLock:
+		return "Fault locking"
+	case Hybrid:
+		return "Hybrid locking/RCU"
+	case PureRCU:
+		return "Pure RCU"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// UsesRCU reports whether the design's fault path relies on RCU.
+func (d Design) UsesRCU() bool { return d == Hybrid || d == PureRCU }
+
+// Address-space geometry.
+const (
+	// PageSize re-exports the page size for callers.
+	PageSize = pagetable.PageSize
+	// MaxAddress is one past the highest mappable address.
+	MaxAddress = pagetable.MaxAddress
+	// UnmappedBase is where non-fixed mappings are placed by default.
+	UnmappedBase = uint64(1) << 32
+)
+
+// Errors returned by address-space operations.
+var (
+	// ErrSegv is returned by Fault when no VMA maps the address.
+	ErrSegv = errors.New("vm: segmentation fault")
+	// ErrAccess is returned by Fault on a protection violation.
+	ErrAccess = errors.New("vm: access violates mapping protection")
+	// ErrNoMemory is returned when physical frames or address space run out.
+	ErrNoMemory = errors.New("vm: out of memory")
+	// ErrInvalid is returned for malformed arguments.
+	ErrInvalid = errors.New("vm: invalid argument")
+)
+
+// MmapCacheMode controls the per-address-space mmap cache (§6).
+type MmapCacheMode int
+
+// Cache modes. The default follows the paper: enabled for the lock-based
+// designs (as in stock Linux), disabled for the RCU designs, whose
+// page-fault handlers must not write shared cache lines.
+const (
+	MmapCacheDefault MmapCacheMode = iota
+	MmapCacheOn
+	MmapCacheOff
+)
+
+// Config configures an AddressSpace.
+type Config struct {
+	// Design selects the concurrency design. The zero value is RWLock
+	// (stock Linux).
+	Design Design
+	// CPUs is the number of fault contexts that will be created with
+	// NewCPU. Zero means 1.
+	CPUs int
+	// Frames is the physical memory size in 4 KiB frames. Zero means
+	// physmem.DefaultFrames.
+	Frames uint64
+	// Backing gives pages real data buffers (required by ReadBytes and
+	// WriteBytes).
+	Backing bool
+	// Weight is the BONSAI weight parameter (PureRCU only). Zero means
+	// the paper's 4.
+	Weight int
+	// MmapCache controls the mmap cache (§6).
+	MmapCache MmapCacheMode
+	// SinglePTELock shares one PTE lock across all page tables
+	// (ablation; §2).
+	SinglePTELock bool
+	// RCUBatch is the rcu.Domain batch size. Zero means the default.
+	RCUBatch int
+	// MaxStackGrowth bounds how far below a Stack VMA a fault may grow
+	// it, in bytes. Zero means DefaultMaxStackGrowth.
+	MaxStackGrowth uint64
+	// MaxFamily is the maximum number of address spaces (the original
+	// plus forked children) that may be alive at once; they share one
+	// physical allocator, whose per-CPU magazines are partitioned among
+	// them. Zero means DefaultMaxFamily.
+	MaxFamily int
+}
+
+// DefaultMaxFamily supports an original address space plus seven
+// concurrently live forks.
+const DefaultMaxFamily = 8
+
+// DefaultMaxStackGrowth allows stacks to grow up to 8 MB below their
+// current start, mirroring a typical RLIMIT_STACK.
+const DefaultMaxStackGrowth = 8 << 20
+
+// AddressSpace is a shared address space: a set of VMAs in a region
+// tree plus a four-level page-table tree (Figure 1). Mmap and Munmap
+// may be called from any goroutine; Fault requires a CPU context.
+type AddressSpace struct {
+	cfg Config
+
+	// mmapSem serializes memory-mapping operations in every design; in
+	// RWLock it is also taken (in read mode) by every fault (§4.1).
+	mmapSem locks.RWSem
+	// faultSem is the FaultLock design's fault lock (§5.1).
+	faultSem locks.RWSem
+	// treeSem protects the region tree in the Hybrid design (§5.2).
+	treeSem locks.RWSem
+
+	idx    regionIndex
+	tables *pagetable.Tables
+	alloc  *physmem.Allocator
+	dom    *rcu.Domain
+
+	// fam is shared with forked relatives: one frame pool, one RCU
+	// domain, and the liveness count used for leak checking at the
+	// last Close.
+	fam    *family
+	member int // index into the family's magazine partition
+
+	mmapCacheOn bool
+	mmapCache   atomic.Pointer[vma.VMA]
+
+	mapCPU int // allocator magazine reserved for mapping operations
+
+	stats statsCounters
+}
+
+// family is the state shared between an address space and its forks.
+type family struct {
+	alloc   *physmem.Allocator
+	dom     *rcu.Domain
+	live    atomic.Int32 // address spaces not yet closed
+	members atomic.Int32 // member indices handed out (never reused)
+	max     int32
+}
+
+// CPU is a per-worker fault context: its RCU reader registration and
+// its allocator magazine. Each CPU must be used by one goroutine at a
+// time, like a kernel CPU context.
+type CPU struct {
+	as *AddressSpace
+	id int
+	rd *rcu.Reader
+}
+
+// New creates an empty address space.
+func New(cfg Config) (*AddressSpace, error) {
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 1
+	}
+	if cfg.MaxStackGrowth == 0 {
+		cfg.MaxStackGrowth = DefaultMaxStackGrowth
+	}
+	if cfg.MaxFamily <= 0 {
+		cfg.MaxFamily = DefaultMaxFamily
+	}
+	fam := &family{max: int32(cfg.MaxFamily)}
+	fam.alloc = physmem.New(physmem.Config{
+		Frames: cfg.Frames,
+		// Each family member gets a private partition of magazines:
+		// its fault CPUs plus one mapping-operation magazine.
+		CPUs:    (cfg.CPUs + 1) * cfg.MaxFamily,
+		Backing: cfg.Backing,
+	})
+	fam.dom = rcu.NewDomain(rcu.Options{BatchSize: cfg.RCUBatch})
+	return newMember(cfg, fam)
+}
+
+// newMember builds an address space inside a family (either the
+// original via New or a child via Fork).
+func newMember(cfg Config, fam *family) (*AddressSpace, error) {
+	member := int(fam.members.Add(1)) - 1
+	if member >= int(fam.max) {
+		return nil, fmt.Errorf("%w: family exceeds MaxFamily=%d live or past members", ErrNoMemory, fam.max)
+	}
+	fam.live.Add(1)
+	as := &AddressSpace{
+		cfg:    cfg,
+		fam:    fam,
+		member: member,
+		alloc:  fam.alloc,
+		dom:    fam.dom,
+	}
+	as.mapCPU = as.physCPU(cfg.CPUs)
+	var err error
+	as.tables, err = pagetable.New(as.alloc, as.dom, pagetable.Config{
+		SinglePTELock: cfg.SinglePTELock,
+	})
+	if err != nil {
+		fam.live.Add(-1)
+		return nil, err
+	}
+	as.idx = newRegionIndex(cfg.Design, cfg.Weight, &as.treeSem, as.dom)
+
+	switch cfg.MmapCache {
+	case MmapCacheOn:
+		as.mmapCacheOn = true
+	case MmapCacheOff:
+		as.mmapCacheOn = false
+	default:
+		// Paper §6: the RCU designs disable the mmap cache because
+		// maintaining it would make every fault write a shared line.
+		as.mmapCacheOn = !cfg.Design.UsesRCU()
+	}
+	return as, nil
+}
+
+// physCPU maps a member-relative CPU id to the family-wide allocator
+// magazine index, so relatives never share a magazine.
+func (as *AddressSpace) physCPU(id int) int {
+	return as.member*(as.cfg.CPUs+1) + id
+}
+
+// Design returns the configured concurrency design.
+func (as *AddressSpace) Design() Design { return as.cfg.Design }
+
+// Domain returns the address space's RCU domain.
+func (as *AddressSpace) Domain() *rcu.Domain { return as.dom }
+
+// Allocator returns the physical frame allocator (for inspection).
+func (as *AddressSpace) Allocator() *physmem.Allocator { return as.alloc }
+
+// Tables returns the page-table tree (for inspection).
+func (as *AddressSpace) Tables() *pagetable.Tables { return as.tables }
+
+// NewCPU returns the fault context for the given CPU id, which must be
+// in [0, Config.CPUs).
+func (as *AddressSpace) NewCPU(id int) *CPU {
+	if id < 0 || id >= as.cfg.CPUs {
+		panic(fmt.Sprintf("vm: CPU id %d out of range [0,%d)", id, as.cfg.CPUs))
+	}
+	return &CPU{as: as, id: as.physCPU(id), rd: as.dom.Register()}
+}
+
+// Close tears down the address space: it unmaps everything, frees its
+// page-table root, and waits for a grace period. When the last family
+// member closes, it returns an error if any physical frame leaked. No
+// operation on this address space may be in flight.
+func (as *AddressSpace) Close() error {
+	as.mmapSem.Lock()
+	as.beginMutate()
+	as.munmapLocked(0, MaxAddress)
+	as.endMutate()
+	as.mmapSem.Unlock()
+	as.tables.ReleaseRoot(as.mapCPU)
+	last := as.fam.live.Add(-1) == 0
+	as.dom.Barrier()
+	if last {
+		if n := as.alloc.InUse(); n != 0 {
+			return fmt.Errorf("vm: %d frames still allocated after the last family member closed", n)
+		}
+	}
+	return nil
+}
+
+// beginMutate enters the mutation phase of a mapping operation: in the
+// FaultLock design this acquires the fault lock in write mode (§5.1);
+// in the other designs it is a no-op (mmap_sem or RCU covers it).
+func (as *AddressSpace) beginMutate() {
+	if as.cfg.Design == FaultLock {
+		as.faultSem.Lock()
+	}
+}
+
+// endMutate leaves the mutation phase. The paper releases the fault
+// lock only when mmap_sem is released; callers therefore invoke
+// endMutate immediately before unlocking mmap_sem.
+func (as *AddressSpace) endMutate() {
+	if as.cfg.Design == FaultLock {
+		as.faultSem.Unlock()
+	}
+}
+
+// pageDown rounds addr down to a page boundary.
+func pageDown(addr uint64) uint64 { return addr &^ (PageSize - 1) }
+
+// pageUp rounds addr up to a page boundary.
+func pageUp(addr uint64) uint64 { return (addr + PageSize - 1) &^ (PageSize - 1) }

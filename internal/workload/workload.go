@@ -1,0 +1,352 @@
+// Package workload drives the real VM system (internal/vm) with the
+// memory-access patterns of the paper's three applications (§7.1) and
+// its microbenchmark (§7.3). Unlike internal/sim — which reproduces the
+// 80-core *performance* results on a model — these generators execute
+// the actual code paths, so they validate the designs' correctness and
+// provide real-machine benchmarks for bench_test.go and cmd/vmstress.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bonsai/internal/vm"
+	"bonsai/internal/vma"
+)
+
+// Result summarizes one workload run.
+type Result struct {
+	Faults   uint64
+	Mmaps    uint64
+	Munmaps  uint64
+	Duration time.Duration
+}
+
+// Rate returns faults per second.
+func (r Result) Rate() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Faults) / r.Duration.Seconds()
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("faults=%d mmaps=%d munmaps=%d in %v (%.0f faults/s)",
+		r.Faults, r.Mmaps, r.Munmaps, r.Duration, r.Rate())
+}
+
+// MetisConfig shapes a Metis-like run: workers map large anonymous
+// segments (Streamflow's 8 MB allocation pools) and soft-fault every
+// page, with few mapping operations relative to faults.
+type MetisConfig struct {
+	Workers           int
+	SegmentsPerWorker int
+	SegmentPages      int // pages per segment (paper: 2048 = 8 MB)
+}
+
+// RunMetis executes the Metis-like workload and verifies that every
+// faulted page is translated before its segment is unmapped.
+func RunMetis(as *vm.AddressSpace, cfg MetisConfig) (Result, error) {
+	if cfg.SegmentPages == 0 {
+		cfg.SegmentPages = 256
+	}
+	var res Result
+	var faults, mmaps, munmaps atomic.Uint64
+	errCh := make(chan error, cfg.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cpu := as.NewCPU(id)
+			for seg := 0; seg < cfg.SegmentsPerWorker; seg++ {
+				base, err := as.Mmap(0, uint64(cfg.SegmentPages)*vm.PageSize,
+					vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d mmap: %w", id, err)
+					return
+				}
+				mmaps.Add(1)
+				for p := 0; p < cfg.SegmentPages; p++ {
+					addr := base + uint64(p)*vm.PageSize
+					if err := cpu.Fault(addr, true); err != nil {
+						errCh <- fmt.Errorf("worker %d fault %#x: %w", id, addr, err)
+						return
+					}
+					faults.Add(1)
+				}
+				if _, ok := as.Translate(base); !ok {
+					errCh <- fmt.Errorf("worker %d: segment %#x lost its mapping", id, base)
+					return
+				}
+				if err := as.Munmap(base, uint64(cfg.SegmentPages)*vm.PageSize); err != nil {
+					errCh <- fmt.Errorf("worker %d munmap: %w", id, err)
+					return
+				}
+				munmaps.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return res, err
+	}
+	res = Result{Faults: faults.Load(), Mmaps: mmaps.Load(), Munmaps: munmaps.Load(),
+		Duration: time.Since(start)}
+	return res, nil
+}
+
+// PsearchyConfig shapes a Psearchy-like run: each worker first faults a
+// large per-worker hash table, then performs many small mmap/munmap
+// pairs (stdio stream buffers), faulting each buffer once.
+type PsearchyConfig struct {
+	Workers    int
+	TablePages int // per-worker hash table size in pages
+	BufferOps  int // small mmap/munmap pairs per worker
+	BufferPage int // pages per buffer
+}
+
+// RunPsearchy executes the Psearchy-like workload.
+func RunPsearchy(as *vm.AddressSpace, cfg PsearchyConfig) (Result, error) {
+	if cfg.BufferPage == 0 {
+		cfg.BufferPage = 4
+	}
+	var faults, mmaps, munmaps atomic.Uint64
+	errCh := make(chan error, cfg.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cpu := as.NewCPU(id)
+			// Phase 1: the per-worker hash table, faulted page by page.
+			table, err := as.Mmap(0, uint64(cfg.TablePages)*vm.PageSize,
+				vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			mmaps.Add(1)
+			for p := 0; p < cfg.TablePages; p++ {
+				if err := cpu.Fault(table+uint64(p)*vm.PageSize, true); err != nil {
+					errCh <- err
+					return
+				}
+				faults.Add(1)
+			}
+			// Phase 2: stream-buffer churn.
+			for i := 0; i < cfg.BufferOps; i++ {
+				buf, err := as.Mmap(0, uint64(cfg.BufferPage)*vm.PageSize,
+					vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				mmaps.Add(1)
+				if err := cpu.Fault(buf, true); err != nil {
+					errCh <- err
+					return
+				}
+				faults.Add(1)
+				if err := as.Munmap(buf, uint64(cfg.BufferPage)*vm.PageSize); err != nil {
+					errCh <- err
+					return
+				}
+				munmaps.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return Result{}, err
+	}
+	return Result{Faults: faults.Load(), Mmaps: mmaps.Load(), Munmaps: munmaps.Load(),
+		Duration: time.Since(start)}, nil
+}
+
+// DedupConfig shapes a Dedup-like run: a pipeline of workers that mmap
+// mid-size chunks, fault them fully, and free a fraction back, as a
+// deduplicating compressor's allocator does.
+type DedupConfig struct {
+	Workers    int
+	Chunks     int // chunks per worker
+	ChunkPages int
+	KeepRatio  int // keep 1 of every KeepRatio chunks mapped until the end
+}
+
+// RunDedup executes the Dedup-like workload.
+func RunDedup(as *vm.AddressSpace, cfg DedupConfig) (Result, error) {
+	if cfg.ChunkPages == 0 {
+		cfg.ChunkPages = 128
+	}
+	if cfg.KeepRatio == 0 {
+		cfg.KeepRatio = 4
+	}
+	var faults, mmaps, munmaps atomic.Uint64
+	errCh := make(chan error, cfg.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cpu := as.NewCPU(id)
+			var kept []uint64
+			size := uint64(cfg.ChunkPages) * vm.PageSize
+			for i := 0; i < cfg.Chunks; i++ {
+				base, err := as.Mmap(0, size, vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				mmaps.Add(1)
+				for p := 0; p < cfg.ChunkPages; p++ {
+					if err := cpu.Fault(base+uint64(p)*vm.PageSize, true); err != nil {
+						errCh <- err
+						return
+					}
+					faults.Add(1)
+				}
+				if i%cfg.KeepRatio == 0 {
+					kept = append(kept, base)
+					continue
+				}
+				if err := as.Munmap(base, size); err != nil {
+					errCh <- err
+					return
+				}
+				munmaps.Add(1)
+			}
+			for _, base := range kept {
+				if err := as.Munmap(base, size); err != nil {
+					errCh <- err
+					return
+				}
+				munmaps.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return Result{}, err
+	}
+	return Result{Faults: faults.Load(), Mmaps: mmaps.Load(), Munmaps: munmaps.Load(),
+		Duration: time.Since(start)}, nil
+}
+
+// MicroConfig shapes the §7.3 microbenchmark on the real VM system:
+// fault workers hammer soft faults on a shared region while one mapper
+// thread spends roughly MmapFraction of its time performing mmap/munmap
+// pairs on a disjoint range.
+type MicroConfig struct {
+	FaultWorkers int
+	Pages        int // pages in the fault arena
+	MmapFraction float64
+	Duration     time.Duration
+	Seed         int64
+}
+
+// RunMicro executes the real-machine microbenchmark and returns the
+// observed rates. The fault arena is unmapped and remapped in random
+// chunks by the mapper, so fault workers exercise the retry paths.
+func RunMicro(as *vm.AddressSpace, cfg MicroConfig) (Result, error) {
+	if cfg.Pages == 0 {
+		cfg.Pages = 1024
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 200 * time.Millisecond
+	}
+	arena, err := as.Mmap(0, uint64(cfg.Pages)*vm.PageSize, vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	var faults, mmaps, munmaps atomic.Uint64
+	stop := make(chan struct{})
+	errCh := make(chan error, cfg.FaultWorkers+1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.FaultWorkers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cpu := as.NewCPU(id)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				addr := arena + uint64(rng.Intn(cfg.Pages))*vm.PageSize
+				err := cpu.Fault(addr, true)
+				if err != nil && !errors.Is(err, vm.ErrSegv) {
+					errCh <- err
+					return
+				}
+				faults.Add(1)
+			}
+		}(w)
+	}
+	if cfg.MmapFraction > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 7919))
+			for first := true; ; first = false {
+				// Always complete at least one operation so short runs
+				// on loaded machines still exercise the mapper.
+				if !first {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				opStart := time.Now()
+				off := uint64(rng.Intn(cfg.Pages/2)) * vm.PageSize
+				n := uint64(8+rng.Intn(32)) * vm.PageSize
+				if err := as.Munmap(arena+off, n); err != nil {
+					errCh <- err
+					return
+				}
+				munmaps.Add(1)
+				if _, err := as.Mmap(arena+off, n, vma.ProtRead|vma.ProtWrite, vma.Fixed, nil, 0); err != nil {
+					errCh <- err
+					return
+				}
+				mmaps.Add(1)
+				if cfg.MmapFraction < 1 {
+					busy := time.Since(opStart)
+					idle := time.Duration(float64(busy) * (1 - cfg.MmapFraction) / cfg.MmapFraction)
+					select {
+					case <-stop:
+						return
+					case <-time.After(idle):
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return Result{}, err
+	default:
+	}
+	return Result{Faults: faults.Load(), Mmaps: mmaps.Load(), Munmaps: munmaps.Load(),
+		Duration: elapsed}, nil
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"bonsai/internal/vm"
+)
+
+// runAll executes every workload against every design with a small
+// configuration and checks the invariant counters.
+func TestWorkloadsAllDesigns(t *testing.T) {
+	for _, d := range vm.Designs {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			const workers = 3
+
+			as, err := vm.New(vm.Config{Design: d, CPUs: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunMetis(as, MetisConfig{Workers: workers, SegmentsPerWorker: 3, SegmentPages: 64})
+			if err != nil {
+				t.Fatalf("metis: %v", err)
+			}
+			if res.Faults != workers*3*64 {
+				t.Fatalf("metis faults = %d, want %d", res.Faults, workers*3*64)
+			}
+			if err := as.Close(); err != nil {
+				t.Fatalf("metis teardown: %v", err)
+			}
+
+			as, err = vm.New(vm.Config{Design: d, CPUs: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err = RunPsearchy(as, PsearchyConfig{Workers: workers, TablePages: 64, BufferOps: 50, BufferPage: 2})
+			if err != nil {
+				t.Fatalf("psearchy: %v", err)
+			}
+			want := uint64(workers * (64 + 50))
+			if res.Faults != want {
+				t.Fatalf("psearchy faults = %d, want %d", res.Faults, want)
+			}
+			if res.Munmaps != workers*50 {
+				t.Fatalf("psearchy munmaps = %d", res.Munmaps)
+			}
+			if err := as.Close(); err != nil {
+				t.Fatalf("psearchy teardown: %v", err)
+			}
+
+			as, err = vm.New(vm.Config{Design: d, CPUs: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err = RunDedup(as, DedupConfig{Workers: workers, Chunks: 8, ChunkPages: 32, KeepRatio: 4})
+			if err != nil {
+				t.Fatalf("dedup: %v", err)
+			}
+			if res.Faults != workers*8*32 {
+				t.Fatalf("dedup faults = %d", res.Faults)
+			}
+			if res.Mmaps != res.Munmaps {
+				t.Fatalf("dedup leaked mappings: %d mmaps, %d munmaps", res.Mmaps, res.Munmaps)
+			}
+			if err := as.Close(); err != nil {
+				t.Fatalf("dedup teardown: %v", err)
+			}
+
+			as, err = vm.New(vm.Config{Design: d, CPUs: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err = RunMicro(as, MicroConfig{
+				FaultWorkers: 2, Pages: 256, MmapFraction: 0.5,
+				Duration: 50 * time.Millisecond, Seed: 1,
+			})
+			if err != nil {
+				t.Fatalf("micro: %v", err)
+			}
+			if res.Faults == 0 {
+				t.Fatal("micro: no faults")
+			}
+			if res.Mmaps == 0 {
+				t.Fatal("micro: mapper never ran")
+			}
+			if err := as.Close(); err != nil {
+				t.Fatalf("micro teardown: %v", err)
+			}
+		})
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Faults: 100, Mmaps: 2, Munmaps: 1, Duration: time.Second}
+	if r.Rate() != 100 {
+		t.Fatalf("Rate = %g", r.Rate())
+	}
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+	if (Result{}).Rate() != 0 {
+		t.Fatal("zero-duration rate")
+	}
+}
