@@ -160,10 +160,13 @@ type Tables struct {
 }
 
 // New returns an empty four-level page-table tree whose table frames
-// come from alloc and whose deferred frees go through dom.
-func New(alloc *physmem.Allocator, dom *rcu.Domain, cfg Config) (*Tables, error) {
+// come from alloc and whose deferred frees go through dom. The root is
+// allocated from cpu's magazine: callers must pass a magazine they own
+// (Fork builds a child's tree while the parent's fault CPUs keep
+// allocating, so sharing magazine 0 here would race).
+func New(alloc *physmem.Allocator, dom *rcu.Domain, cpu int, cfg Config) (*Tables, error) {
 	t := &Tables{cfg: cfg, alloc: alloc, dom: dom}
-	root, err := t.newDirectory(0, Levels)
+	root, err := t.newDirectory(cpu, Levels)
 	if err != nil {
 		return nil, err
 	}
@@ -203,16 +206,19 @@ func (t *Tables) newPageTable(cpu int) (*PageTable, error) {
 	return pt, nil
 }
 
+// releaseDirectory retires a detached directory. The frame free is
+// queued on the caller's CPU shard and runs after a grace period; the
+// unmap scan itself never waits for one.
 func (t *Tables) releaseDirectory(cpu int, d *directory) {
 	t.tablesFreed.Add(1)
 	t.tablesLive.Add(-1)
-	t.dom.Defer(func() { t.alloc.FreeRemote(d.frame) })
+	t.dom.DeferOn(cpu, func() { t.alloc.FreeRemote(d.frame) })
 }
 
 func (t *Tables) releasePageTable(cpu int, pt *PageTable) {
 	t.tablesFreed.Add(1)
 	t.tablesLive.Add(-1)
-	t.dom.Defer(func() { t.alloc.FreeRemote(pt.frame) })
+	t.dom.DeferOn(cpu, func() { t.alloc.FreeRemote(pt.frame) })
 }
 
 func checkAddr(addr uint64) {

@@ -12,7 +12,7 @@ func newTables(t *testing.T, cfg Config) (*Tables, *physmem.Allocator, *rcu.Doma
 	t.Helper()
 	alloc := physmem.New(physmem.Config{Frames: 1 << 16, CPUs: 8})
 	dom := rcu.NewDomain(rcu.Options{BatchSize: -1})
-	tb, err := New(alloc, dom, cfg)
+	tb, err := New(alloc, dom, 0, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

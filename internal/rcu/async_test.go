@@ -1,0 +1,264 @@
+package rcu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDeferNeverBlocksOnGracePeriod is the regression test for the
+// synchronous design's deadlock: with a reader pinned inside a critical
+// section no grace period can complete, yet Defer must keep returning
+// immediately no matter how far past the batch size and backpressure
+// budget the queue grows. The old implementation ran Synchronize inline
+// once the batch filled and hung exactly here.
+func TestDeferNeverBlocksOnGracePeriod(t *testing.T) {
+	d := NewDomain(Options{BatchSize: 4, MaxPending: 8})
+	r := d.Register()
+
+	r.Lock()
+	const n = 10_000
+	done := make(chan struct{})
+	var ran atomic.Int64
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			d.Defer(func() { ran.Add(1) })
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Defer blocked with a reader active (grace-period wait on the caller's path)")
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d callbacks ran while the protecting reader was active", got)
+	}
+	if st := d.Stats(); st.OverBudget == 0 {
+		t.Fatalf("backpressure budget never tripped: %+v", st)
+	}
+	r.Unlock()
+
+	d.Flush()
+	if got := ran.Load(); got != n {
+		t.Fatalf("after Flush %d callbacks ran, want %d", got, n)
+	}
+	d.Close()
+}
+
+// TestBackgroundDrain verifies the detector reclaims on its own:
+// callbacks run without any blocking call from the retiring side.
+func TestBackgroundDrain(t *testing.T) {
+	d := NewDomain(Options{BatchSize: 16})
+	defer d.Close()
+	var ran atomic.Int64
+	const n = 100
+	for i := 0; i < n; i++ {
+		d.Defer(func() { ran.Add(1) })
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ran.Load() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("detector drained %d/%d callbacks without a Flush", ran.Load(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := d.Stats(); st.GracePeriods == 0 {
+		t.Fatalf("no grace periods recorded: %+v", st)
+	}
+}
+
+// TestTrickleDrains verifies callbacks far below the wake threshold
+// are still reclaimed by the detector's re-check timer: a handful of
+// retired frames must not sit queued until the next batch or teardown.
+func TestTrickleDrains(t *testing.T) {
+	d := NewDomain(Options{}) // default batch: 3 callbacks never cross the threshold
+	defer d.Close()
+	var ran atomic.Int64
+	for i := 0; i < 3; i++ {
+		d.Defer(func() { ran.Add(1) })
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ran.Load() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("trickle not drained: %d/3 ran, stats %+v", ran.Load(), d.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestConcurrentDeferSynchronize races many retiring goroutines against
+// Synchronize callers and cycling readers; run under -race in CI. Every
+// callback must run exactly once and only after a grace period.
+func TestConcurrentDeferSynchronize(t *testing.T) {
+	d := NewDomain(Options{BatchSize: 32, Shards: 4})
+	defer d.Close()
+
+	const (
+		writers      = 4
+		perWriter    = 500
+		synchronizer = 2
+	)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := d.Register()
+			defer d.Unregister(r)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Lock()
+				r.Unlock()
+			}
+		}()
+	}
+	var syncWG sync.WaitGroup
+	for i := 0; i < synchronizer; i++ {
+		syncWG.Add(1)
+		go func() {
+			defer syncWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d.Synchronize()
+			}
+		}()
+	}
+	var defWG sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		defWG.Add(1)
+		go func() {
+			defer defWG.Done()
+			for j := 0; j < perWriter; j++ {
+				d.Defer(func() { ran.Add(1) })
+			}
+		}()
+	}
+	defWG.Wait()
+	d.Flush()
+	if got := ran.Load(); got != writers*perWriter {
+		t.Fatalf("ran %d callbacks, want %d", got, writers*perWriter)
+	}
+	close(stop)
+	syncWG.Wait()
+	wg.Wait()
+}
+
+// TestShardDistribution checks that explicit hints land on their shard
+// and that automatic hints account for every callback.
+func TestShardDistribution(t *testing.T) {
+	d := NewDomain(Options{BatchSize: -1, Shards: 8})
+	const perShard = 8
+	for i := 0; i < 8*perShard; i++ {
+		d.DeferOn(i%8, func() {})
+	}
+	st := d.Stats()
+	if st.Shards != 8 {
+		t.Fatalf("Shards = %d, want 8", st.Shards)
+	}
+	for i, q := range st.ShardQueued {
+		if q != perShard {
+			t.Fatalf("shard %d queued %d callbacks, want %d (%v)", i, q, perShard, st.ShardQueued)
+		}
+	}
+	// Hints beyond the shard count wrap.
+	d.DeferOn(8, func() {})
+	if q := d.Stats().ShardQueued[0]; q != perShard+1 {
+		t.Fatalf("wrapped hint landed wrong: shard 0 queued %d", q)
+	}
+
+	// Automatic hints: everything is accounted for, wherever it lands.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d.Defer(func() {})
+			}
+		}()
+	}
+	wg.Wait()
+	st = d.Stats()
+	var sum uint64
+	for _, q := range st.ShardQueued {
+		sum += q
+	}
+	want := uint64(8*perShard + 1 + 400)
+	if sum != want || st.Defers != want {
+		t.Fatalf("queued sum = %d, Defers = %d, want %d", sum, st.Defers, want)
+	}
+	d.Flush()
+	if st := d.Stats(); st.Ran != want || st.Pending != 0 {
+		t.Fatalf("after Flush: %+v", st)
+	}
+}
+
+// TestCloseFlushes verifies Close stops the detector and runs every
+// remaining callback, and that late Defers are caught.
+func TestCloseFlushes(t *testing.T) {
+	d := NewDomain(Options{})
+	var ran atomic.Int64
+	for i := 0; i < 10; i++ {
+		d.Defer(func() { ran.Add(1) })
+	}
+	d.Close()
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("Close ran %d callbacks, want 10", got)
+	}
+	d.Close() // idempotent
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Defer on closed Domain did not panic")
+		}
+	}()
+	d.Defer(func() {})
+}
+
+// TestGracePeriodLatencyStats checks the new observability counters.
+func TestGracePeriodLatencyStats(t *testing.T) {
+	d := NewDomain(Options{BatchSize: -1})
+	r := d.Register()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	go func() {
+		r.Lock()
+		close(entered)
+		<-release
+		r.Unlock()
+	}()
+	<-entered
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(release)
+	}()
+	d.Defer(func() {})
+	d.Flush()
+	st := d.Stats()
+	if st.GPLatencyMax < 2*time.Millisecond {
+		t.Fatalf("GPLatencyMax = %v, want >= the reader's ~5ms dwell", st.GPLatencyMax)
+	}
+	if st.GPLatencyAvg <= 0 {
+		t.Fatalf("GPLatencyAvg = %v", st.GPLatencyAvg)
+	}
+	var drains uint64
+	for _, n := range st.ShardDrains {
+		drains += n
+	}
+	if drains == 0 {
+		t.Fatalf("no shard drains recorded: %+v", st)
+	}
+}

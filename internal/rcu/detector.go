@@ -1,0 +1,66 @@
+package rcu
+
+import "time"
+
+// drainInterval is how often the detector re-checks for pending
+// callbacks while work is flowing. Threshold crossings wake it
+// immediately; the timer bounds how long a trickle of retires below
+// the batch threshold can sit queued.
+const drainInterval = time.Millisecond
+
+// idleInterval is the re-check cadence after several empty passes, so
+// an idle domain's detector costs next to nothing but still notices a
+// below-threshold trickle promptly.
+const idleInterval = 20 * time.Millisecond
+
+// detector is the background grace-period goroutine, the analogue of
+// the kernel's softirq processing of call_rcu callbacks. It sleeps
+// until woken (a shard crossed its batch threshold or backpressure
+// budget) or until its re-check timer fires, then runs one grace
+// period and drains every expired segment. All blocking happens here,
+// never on a retiring caller's path.
+func (d *Domain) detector() {
+	defer close(d.exited)
+	timer := time.NewTimer(drainInterval)
+	defer timer.Stop()
+	idle := 0
+	for {
+		select {
+		case <-d.stopc:
+			// Final flush happens in Close after the detector exits (a
+			// grace period there needs no cooperation from this loop).
+			return
+		case <-d.wake:
+			idle = 0
+		case <-timer.C:
+		}
+		// Coalesce any extra nudges that arrived while we were draining.
+		select {
+		case <-d.wake:
+		default:
+		}
+
+		if d.pendingTotal() > 0 {
+			d.gpMu.Lock()
+			d.gracePeriodLocked()
+			d.gpMu.Unlock()
+			idle = 0
+		} else if idle < 8 {
+			idle++
+		}
+
+		// Re-arm: callbacks queued during the grace period, or trickling
+		// in below the wake threshold, are picked up on the next tick.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		if idle >= 8 {
+			timer.Reset(idleInterval)
+		} else {
+			timer.Reset(drainInterval)
+		}
+	}
+}

@@ -8,8 +8,20 @@
 //     shared lines).
 //   - Defer (the analogue of call_rcu): run a callback after a grace
 //     period, used to delay-free tree nodes, VMAs, page tables, and
-//     physical frames (§5.2, Figure 11).
-//   - Synchronize (synchronize_rcu): wait for a full grace period.
+//     physical frames (§5.2, Figure 11). Defer is asynchronous: it
+//     appends to a per-shard callback segment and returns. It never
+//     waits for a grace period and never takes a domain-global lock,
+//     so retiring memory from the munmap path costs one padded
+//     per-shard append — reclamation stays off the mutation hot path,
+//     which is the paper's central scalability requirement.
+//   - A background grace-period detector (the analogue of the kernel's
+//     softirq callback processing): a goroutine that advances the
+//     epoch, waits for pre-existing readers with exponential backoff
+//     and parking, and drains expired callback segments.
+//   - Synchronize (synchronize_rcu) and Flush/Barrier (rcu_barrier):
+//     the only blocking entry points. Mutators that must observe
+//     reclamation (teardown, leak checks, OOM recovery) call these;
+//     nothing else blocks.
 //
 // Although Go's garbage collector already guarantees that memory is not
 // recycled while a reader can still reach it, the VM system reuses
@@ -20,31 +32,78 @@
 package rcu
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// cacheLine is the assumed cache-line size used to pad per-reader state
-// so concurrent readers never share a line (the property the paper's
-// pure-RCU design depends on).
+// cacheLine is the assumed cache-line size used to pad per-reader and
+// per-shard state so concurrent CPUs never share a line (the property
+// the paper's pure-RCU design depends on).
 const cacheLine = 64
 
 // Domain is an independent RCU domain: a set of registered readers plus
-// a queue of deferred callbacks. The zero value is not usable; call
-// NewDomain.
+// sharded segments of deferred callbacks processed by a background
+// grace-period detector. The zero value is not usable; call NewDomain.
 type Domain struct {
-	epoch atomic.Uint64 // current grace-period epoch; advanced by Synchronize
+	epoch atomic.Uint64 // current grace-period epoch; advanced per grace period
 
-	mu      sync.Mutex // guards readers list and callback queue
-	readers []*Reader
-	pending []callback
+	readersMu sync.Mutex // guards the readers list only
+	readers   []*Reader
 
-	opts Options
+	shards    []shard
+	shardMask uint32
+
+	// gpMu serializes grace-period execution between the detector and
+	// the blocking entry points (Synchronize/Flush/Close). It is never
+	// touched by Defer.
+	gpMu sync.Mutex
+
+	opts       Options
+	wakeThresh int // per-shard pending count that wakes the detector
+	budget     int // per-shard pending count considered over budget
+
+	wake      chan struct{} // buffered(1) nudge to the detector
+	stopc     chan struct{}
+	startOnce sync.Once
+	started   atomic.Bool
+	exited    chan struct{}
+	closed    atomic.Bool
+
+	// hintPool hands out goroutine-affine shard hints; see hint().
+	hintPool sync.Pool
+	hintSeq  atomic.Uint32
 
 	// statistics
 	gracePeriods atomic.Uint64
-	defers       atomic.Uint64
-	ran          atomic.Uint64
+	gpTotalNanos atomic.Uint64
+	gpMaxNanos   atomic.Uint64
+	pendingHW    atomic.Int64
+	overBudget   atomic.Uint64
+}
+
+// shard is one callback segment. Shards are padded so concurrent
+// retiring goroutines touch disjoint cache lines; all hot counters are
+// shard-local.
+type shard struct {
+	_       [cacheLine]byte
+	mu      sync.Mutex
+	cbs     []callback
+	queued  atomic.Uint64 // callbacks ever appended to this shard
+	drained atomic.Uint64 // callbacks run from this shard
+	drains  atomic.Uint64 // drain passes that removed at least one callback
+	_       [cacheLine]byte
+
+	// spare is the previous drain pass's segment, recycled to keep the
+	// steady-state append path allocation-free. Only the detector (or a
+	// blocking entry point, under gpMu) touches it.
+	spare []callback
+}
+
+// pending returns the shard's currently queued callback count.
+func (s *shard) pending() int64 {
+	return int64(s.queued.Load()) - int64(s.drained.Load())
 }
 
 type callback struct {
@@ -54,24 +113,86 @@ type callback struct {
 
 // Options configures a Domain.
 type Options struct {
-	// BatchSize is the number of deferred callbacks that accumulate
-	// before Defer synchronously runs a grace period and drains the
-	// queue, modeling the kernel's batched softirq processing of
-	// call_rcu callbacks. Zero means DefaultBatchSize. Negative means
-	// never drain automatically (callers must use Barrier).
+	// BatchSize is the number of pending callbacks that accumulate
+	// (domain-wide) before the background detector is woken to run a
+	// grace period and drain, modeling the kernel's batched softirq
+	// processing of call_rcu callbacks. Zero means DefaultBatchSize.
+	// Negative disables the background detector entirely: callbacks
+	// run only when the caller invokes Synchronize/Flush/Barrier,
+	// which keeps reclamation deterministic for tests.
 	BatchSize int
+
+	// Shards is the number of callback segments, rounded up to a power
+	// of two. Zero means a power of two covering GOMAXPROCS, capped at
+	// MaxShards.
+	Shards int
+
+	// MaxPending is the backpressure budget. It is divided evenly
+	// across the shards; when one shard's pending count exceeds its
+	// slice (so a skewed retire pattern trips it sooner than a
+	// perfectly spread one), Defer counts the event in
+	// Stats.OverBudget, urgently wakes the detector, and yields its
+	// timeslice so the detector can run on a saturated machine. Defer
+	// still never waits for a grace period — with readers active there
+	// is nothing useful a blocked writer could wait for (that inline
+	// wait is exactly the deadlock the synchronous design had). Zero
+	// means DefaultMaxPending.
+	MaxPending int
 }
 
 // DefaultBatchSize is the automatic drain threshold used when
 // Options.BatchSize is zero.
 const DefaultBatchSize = 4096
 
-// NewDomain returns a ready-to-use RCU domain.
+// DefaultMaxPending is the default backpressure budget. It is sized so
+// the yield-based safety valve only engages when reclamation has truly
+// fallen behind (a wedged reader), not during ordinary bursts.
+const DefaultMaxPending = 1 << 17
+
+// MaxShards caps the shard count.
+const MaxShards = 64
+
+// NewDomain returns a ready-to-use RCU domain. Domains with a
+// non-negative BatchSize lazily start one background detector goroutine
+// on first Defer; call Close to stop it and flush remaining callbacks.
 func NewDomain(opts Options) *Domain {
 	if opts.BatchSize == 0 {
 		opts.BatchSize = DefaultBatchSize
 	}
-	d := &Domain{opts: opts}
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = DefaultMaxPending
+	}
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	d := &Domain{
+		opts:   opts,
+		shards: make([]shard, shards),
+
+		shardMask: uint32(shards - 1),
+		wake:      make(chan struct{}, 1),
+		stopc:     make(chan struct{}),
+		exited:    make(chan struct{}),
+	}
+	if d.wakeThresh = opts.BatchSize / shards; d.wakeThresh < 1 {
+		d.wakeThresh = 1
+	}
+	if d.budget = opts.MaxPending / shards; d.budget < 1 {
+		d.budget = 1
+	}
+	d.hintPool.New = func() any {
+		h := new(uint32)
+		*h = d.hintSeq.Add(1) - 1
+		return h
+	}
 	d.epoch.Store(1)
 	return d
 }
@@ -90,9 +211,9 @@ type Reader struct {
 // Register creates and registers a new Reader with the domain.
 func (d *Domain) Register() *Reader {
 	r := &Reader{dom: d}
-	d.mu.Lock()
+	d.readersMu.Lock()
 	d.readers = append(d.readers, r)
-	d.mu.Unlock()
+	d.readersMu.Unlock()
 	return r
 }
 
@@ -102,14 +223,14 @@ func (d *Domain) Unregister(r *Reader) {
 	if r.state.Load() != 0 {
 		panic("rcu: Unregister of active reader")
 	}
-	d.mu.Lock()
+	d.readersMu.Lock()
 	for i, rr := range d.readers {
 		if rr == r {
 			d.readers = append(d.readers[:i], d.readers[i+1:]...)
 			break
 		}
 	}
-	d.mu.Unlock()
+	d.readersMu.Unlock()
 }
 
 // Lock enters a read-side critical section. It performs a single store
@@ -136,101 +257,289 @@ func (r *Reader) Unlock() {
 // intended for assertions in tests.
 func (r *Reader) Active() bool { return r.state.Load() != 0 }
 
+// hint returns a goroutine-affine shard hint. Hints live in a
+// sync.Pool, whose Get/Put fast path is per-P and lock-free, so
+// concurrent Defer callers on different Ps spread across shards without
+// sharing a cache line; the round-robin assignment counter is touched
+// only when the pool is empty.
+func (d *Domain) hint() int {
+	h := d.hintPool.Get().(*uint32)
+	i := *h
+	d.hintPool.Put(h)
+	return int(i)
+}
+
+// Defer queues fn to run after a grace period. It appends to one
+// callback shard and returns: no domain-global lock, no grace-period
+// wait, regardless of how many callbacks are pending. When a shard
+// crosses the batch threshold the background detector is woken (a
+// non-blocking notification) to process the grace period off the
+// caller's path.
+func (d *Domain) Defer(fn func()) { d.DeferOn(d.hint(), fn) }
+
+// DeferOn is Defer with an explicit shard hint, for callers that
+// already have a cheap CPU-like identity (the VM layer passes its
+// per-CPU context id). Hints beyond the shard count wrap around.
+func (d *Domain) DeferOn(hint int, fn func()) {
+	if d.closed.Load() {
+		panic("rcu: Defer on closed Domain")
+	}
+	s := &d.shards[uint32(hint)&d.shardMask]
+	e := d.epoch.Load()
+	s.mu.Lock()
+	s.cbs = append(s.cbs, callback{epoch: e, fn: fn})
+	s.queued.Add(1)
+	s.mu.Unlock()
+	n := s.pending()
+
+	if d.opts.BatchSize < 0 {
+		return // manual mode: drained only by Synchronize/Flush
+	}
+	switch {
+	case n >= int64(d.budget):
+		// Over the backpressure budget: reclamation has fallen behind.
+		// Wake the detector urgently and donate this timeslice so it can
+		// run even on a fully loaded machine. This bounds the backlog
+		// without ever waiting for a grace period on the caller's path.
+		d.overBudget.Add(1)
+		d.ensureDetector()
+		d.nudge()
+		yield()
+	case n >= int64(d.wakeThresh) || !d.started.Load():
+		d.ensureDetector()
+		d.nudge()
+	}
+}
+
+// nudge wakes the detector without blocking.
+func (d *Domain) nudge() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// ensureDetector starts the background grace-period detector once.
+func (d *Domain) ensureDetector() {
+	d.startOnce.Do(func() {
+		d.started.Store(true)
+		go d.detector()
+	})
+}
+
 // Synchronize waits until every read-side critical section that was
 // active when Synchronize was called has completed (a full grace
 // period). Callbacks queued before the call are run before it returns.
+// It is a blocking entry point: never call it while holding locks that
+// an active reader may be waiting for.
 func (d *Domain) Synchronize() {
+	d.gpMu.Lock()
+	defer d.gpMu.Unlock()
+	d.gracePeriodLocked()
+}
+
+// Flush runs a grace period and then runs every callback queued before
+// the call (the analogue of rcu_barrier). It is the one call mutators
+// use when they must observe reclamation: address-space teardown, leak
+// checks, and OOM recovery.
+func (d *Domain) Flush() { d.Synchronize() }
+
+// Barrier is an alias for Flush, kept for symmetry with rcu_barrier.
+func (d *Domain) Barrier() { d.Flush() }
+
+// Close stops the background detector (if it ever started) and flushes
+// all remaining callbacks. The caller must quiesce all retiring paths
+// first — a Defer racing Close may be silently dropped, exactly as a
+// call_rcu racing module unload would be; the closed check is
+// best-effort, so sequenced-after Defers panic. The blocking entry
+// points keep working after Close (inline, on the caller). Close is
+// idempotent.
+func (d *Domain) Close() {
+	if d.closed.Swap(true) {
+		return
+	}
+	if d.started.Load() {
+		close(d.stopc)
+		<-d.exited
+	}
+	d.Flush()
+}
+
+// gracePeriodLocked advances the epoch, waits for pre-existing readers,
+// and drains expired callbacks. Caller holds gpMu.
+func (d *Domain) gracePeriodLocked() {
+	start := time.Now()
 	target := d.epoch.Add(1) // readers that observe >= target started after us
 	d.gracePeriods.Add(1)
 
-	d.mu.Lock()
+	d.readersMu.Lock()
 	readers := make([]*Reader, len(d.readers))
 	copy(readers, d.readers)
-	d.mu.Unlock()
+	d.readersMu.Unlock()
 
 	for _, r := range readers {
 		waitQuiescent(r, target)
 	}
-	d.drain(target)
+	d.drainAll(target)
+
+	nanos := uint64(time.Since(start).Nanoseconds())
+	d.gpTotalNanos.Add(nanos)
+	for {
+		max := d.gpMaxNanos.Load()
+		if nanos <= max || d.gpMaxNanos.CompareAndSwap(max, nanos) {
+			break
+		}
+	}
 }
 
 // waitQuiescent blocks until the reader is quiescent or started its
-// current critical section at or after the target epoch.
+// current critical section at or after the target epoch. It spins
+// briefly, then yields, then parks with exponential backoff — the
+// detector can afford to sleep; readers never signal (signaling would
+// put a shared store on the read path).
 func waitQuiescent(r *Reader, target uint64) {
+	sleep := time.Microsecond
 	for i := 0; ; i++ {
 		s := r.state.Load()
 		if s == 0 || s >= target {
 			return
 		}
-		if i < 128 {
-			continue
+		switch {
+		case i < 256:
+			// spin: the reader is likely mid-critical-section
+		case i < 512:
+			yield()
+		default:
+			time.Sleep(sleep)
+			if sleep < 128*time.Microsecond {
+				sleep *= 2
+			}
 		}
-		// Long-running reader: yield to let it make progress.
-		yield()
 	}
 }
 
-// Defer queues fn to run after a grace period. If the pending queue
-// exceeds the configured batch size, Defer synchronously runs a grace
-// period and drains the queue, as the kernel's callback machinery would.
-func (d *Domain) Defer(fn func()) {
-	d.defers.Add(1)
-	e := d.epoch.Load()
-	d.mu.Lock()
-	d.pending = append(d.pending, callback{epoch: e, fn: fn})
-	n := len(d.pending)
-	d.mu.Unlock()
-	if d.opts.BatchSize > 0 && n >= d.opts.BatchSize {
-		d.Synchronize()
+// drainAll runs all callbacks queued at an epoch strictly before
+// target. The grace period advancing the domain to target has already
+// elapsed. Callbacks run outside the shard locks, so a callback may
+// itself Defer.
+func (d *Domain) drainAll(target uint64) {
+	var total int64
+	for i := range d.shards {
+		total += d.shards[i].pending()
 	}
-}
+	d.noteHighWater(total)
 
-// Barrier runs a grace period and then runs every callback queued before
-// the call (the analogue of rcu_barrier).
-func (d *Domain) Barrier() {
-	d.Synchronize()
-}
+	for i := range d.shards {
+		s := &d.shards[i]
+		// Swap the segment out under the lock, run callbacks outside it
+		// (a callback may itself Defer into this shard). The swapped-out
+		// array is recycled as the next segment so the steady state
+		// allocates nothing.
+		s.mu.Lock()
+		old := s.cbs
+		s.cbs = s.spare[:0]
+		s.spare = nil
+		s.mu.Unlock()
 
-// drain runs all callbacks queued at an epoch strictly before target.
-// The grace period advancing the domain to target has already elapsed.
-func (d *Domain) drain(target uint64) {
-	d.mu.Lock()
-	var run, keep []callback
-	for _, cb := range d.pending {
-		if cb.epoch < target {
-			run = append(run, cb)
+		ran := 0
+		keep := old[:0] // compacts in place; only indices already read are rewritten
+		for _, cb := range old {
+			if cb.epoch < target {
+				cb.fn()
+				ran++
+			} else {
+				// Queued while this grace period was already underway
+				// (epoch == target): not yet safe, hold for the next one.
+				keep = append(keep, cb)
+			}
+		}
+		s.mu.Lock()
+		if len(keep) == 0 {
+			clear(old[:cap(old)])
+			s.spare = old[:0]
 		} else {
-			keep = append(keep, cb)
+			// Put survivors back in front of any new arrivals; the
+			// arrivals' backing array is then free to recycle as the
+			// next segment.
+			arrivals := s.cbs
+			s.cbs = append(keep, arrivals...)
+			clear(arrivals[:cap(arrivals)])
+			s.spare = arrivals[:0]
+		}
+		s.mu.Unlock()
+		if ran > 0 {
+			s.drained.Add(uint64(ran))
+			s.drains.Add(1)
 		}
 	}
-	d.pending = keep
-	d.mu.Unlock()
+}
 
-	for _, cb := range run {
-		cb.fn()
+// noteHighWater records the largest pending-callback count ever
+// observed (sampled at grace-period boundaries).
+func (d *Domain) noteHighWater(total int64) {
+	for {
+		hw := d.pendingHW.Load()
+		if total <= hw || d.pendingHW.CompareAndSwap(hw, total) {
+			return
+		}
 	}
-	d.ran.Add(uint64(len(run)))
+}
+
+// pendingTotal sums the shards' pending callback counts.
+func (d *Domain) pendingTotal() int64 {
+	var total int64
+	for i := range d.shards {
+		total += d.shards[i].pending()
+	}
+	return total
 }
 
 // Stats is a snapshot of a domain's counters.
 type Stats struct {
 	GracePeriods uint64 // grace periods completed
-	Defers       uint64 // callbacks queued via Defer
+	Defers       uint64 // callbacks queued via Defer/DeferOn
 	Ran          uint64 // callbacks executed
 	Pending      int    // callbacks still queued
 	Readers      int    // registered readers
+	Shards       int    // callback segments
+
+	PendingHighWater int    // max pending sampled at grace-period boundaries
+	OverBudget       uint64 // Defers that found their shard over the backpressure budget
+
+	GPLatencyAvg time.Duration // mean grace-period latency
+	GPLatencyMax time.Duration // worst grace-period latency
+
+	ShardQueued []uint64 // per-shard callbacks ever queued
+	ShardDrains []uint64 // per-shard drain passes that removed callbacks
 }
 
 // Stats returns a snapshot of the domain's counters.
 func (d *Domain) Stats() Stats {
-	d.mu.Lock()
-	p, r := len(d.pending), len(d.readers)
-	d.mu.Unlock()
-	return Stats{
-		GracePeriods: d.gracePeriods.Load(),
-		Defers:       d.defers.Load(),
-		Ran:          d.ran.Load(),
-		Pending:      p,
-		Readers:      r,
+	st := Stats{
+		GracePeriods:     d.gracePeriods.Load(),
+		Shards:           len(d.shards),
+		PendingHighWater: int(d.pendingHW.Load()),
+		OverBudget:       d.overBudget.Load(),
+		GPLatencyMax:     time.Duration(d.gpMaxNanos.Load()),
+		ShardQueued:      make([]uint64, len(d.shards)),
+		ShardDrains:      make([]uint64, len(d.shards)),
 	}
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		q, n := s.queued.Load(), len(s.cbs)
+		s.mu.Unlock()
+		st.Defers += q
+		st.Ran += s.drained.Load()
+		st.Pending += n
+		st.ShardQueued[i] = q
+		st.ShardDrains[i] = s.drains.Load()
+	}
+	d.readersMu.Lock()
+	st.Readers = len(d.readers)
+	d.readersMu.Unlock()
+	if st.GracePeriods > 0 {
+		st.GPLatencyAvg = time.Duration(d.gpTotalNanos.Load() / st.GracePeriods)
+	}
+	return st
 }

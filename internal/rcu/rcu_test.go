@@ -175,13 +175,20 @@ func TestUnregisterRemovesReader(t *testing.T) {
 }
 
 func TestBatchDrain(t *testing.T) {
-	d := NewDomain(Options{BatchSize: 8})
+	// Crossing the batch threshold wakes the background detector, which
+	// must drain every callback without any blocking call from here.
+	d := NewDomain(Options{BatchSize: 8, Shards: 1})
+	defer d.Close()
 	var ran atomic.Int64
 	for i := 0; i < 8; i++ {
 		d.Defer(func() { ran.Add(1) })
 	}
-	if got := ran.Load(); got != 8 {
-		t.Fatalf("after hitting batch size, %d callbacks ran, want 8", got)
+	deadline := time.Now().Add(5 * time.Second)
+	for ran.Load() != 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("detector drained %d callbacks, want 8", ran.Load())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

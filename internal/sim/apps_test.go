@@ -15,6 +15,7 @@ func TestFig13MetisShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")
 	}
+	t.Parallel() // pure-compute sweep over a read-only machine model
 	m := &coherence.E78870
 	p := DefaultParams
 	stock := RunApp(m, vm.RWLock, p, Metis, 80)
@@ -47,6 +48,7 @@ func TestFig14PsearchyShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")
 	}
+	t.Parallel() // pure-compute sweep over a read-only machine model
 	m := &coherence.E78870
 	p := DefaultParams
 	stock32 := RunApp(m, vm.RWLock, p, Psearchy, 32)
@@ -78,6 +80,7 @@ func TestFig15DedupShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")
 	}
+	t.Parallel() // pure-compute sweep over a read-only machine model
 	m := &coherence.E78870
 	p := DefaultParams
 	stock := RunApp(m, vm.RWLock, p, Dedup, 80)
@@ -112,6 +115,7 @@ func TestTable1Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")
 	}
+	t.Parallel() // pure-compute sweep over a read-only machine model
 	m := &coherence.E78870
 	p := DefaultParams
 	for _, app := range Apps {

@@ -15,6 +15,7 @@ func TestSuperpagesWorkaround(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")
 	}
+	t.Parallel() // pure-compute sweep over a read-only machine model
 	m := &coherence.E78870
 	p := DefaultParams
 	pure := RunApp(m, vm.PureRCU, p, Metis, 80)
@@ -40,6 +41,7 @@ func TestMultiprocessWorkaround(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")
 	}
+	t.Parallel() // pure-compute sweep over a read-only machine model
 	m := &coherence.E78870
 	p := DefaultParams
 	mt := RunApp(m, vm.PureRCU, p, Psearchy, 80)

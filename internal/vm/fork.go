@@ -87,7 +87,8 @@ func (c *CPU) cowBreak(old uint64) (uint64, error) {
 	}
 	as.stats.cowCopies.Add(1)
 	// The old frame may still be reachable by lock-free readers of this
-	// address space until a grace period passes.
-	as.dom.Defer(func() { as.alloc.FreeRemote(oldFrame) })
+	// address space until a grace period passes. Queue the free on this
+	// fault CPU's shard; it runs on the background detector.
+	as.dom.DeferOn(c.id, func() { as.alloc.FreeRemote(oldFrame) })
 	return pagetable.MakePTE(newFrame, true), nil
 }

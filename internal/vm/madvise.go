@@ -36,11 +36,15 @@ func (as *AddressSpace) MadviseDontNeed(addr, length uint64) error {
 
 // zapRange clears the translations of [lo, hi), retiring page frames
 // through the RCU domain. Caller holds mmap_sem in write mode and has
-// entered the mutation phase.
+// entered the mutation phase. The deferred frees are queued on the
+// mapping-operation CPU's shard and processed by the domain's
+// background detector — the unmap scan performs no grace-period wait,
+// even though it runs with PTE locks held (a synchronous drain here is
+// the deadlock the asynchronous design exists to prevent).
 func (as *AddressSpace) zapRange(lo, hi uint64) {
 	as.tables.UnmapRange(as.mapCPU, lo, hi, func(pte uint64) {
 		frame := pagetable.PTEFrame(pte)
 		as.stats.pagesUnmapped.Add(1)
-		as.dom.Defer(func() { as.alloc.FreeRemote(frame) })
+		as.dom.DeferOn(as.mapCPU, func() { as.alloc.FreeRemote(frame) })
 	})
 }

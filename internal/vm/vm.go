@@ -230,7 +230,7 @@ func newMember(cfg Config, fam *family) (*AddressSpace, error) {
 	}
 	as.mapCPU = as.physCPU(cfg.CPUs)
 	var err error
-	as.tables, err = pagetable.New(as.alloc, as.dom, pagetable.Config{
+	as.tables, err = pagetable.New(as.alloc, as.dom, as.mapCPU, pagetable.Config{
 		SinglePTELock: cfg.SinglePTELock,
 	})
 	if err != nil {
@@ -280,9 +280,11 @@ func (as *AddressSpace) NewCPU(id int) *CPU {
 }
 
 // Close tears down the address space: it unmaps everything, frees its
-// page-table root, and waits for a grace period. When the last family
-// member closes, it returns an error if any physical frame leaked. No
-// operation on this address space may be in flight.
+// page-table root, and flushes the RCU domain (the one place the
+// mapping side blocks on a grace period). When the last family member
+// closes, it also stops the domain's background reclamation detector
+// and returns an error if any physical frame leaked. No operation on
+// this address space may be in flight.
 func (as *AddressSpace) Close() error {
 	as.mmapSem.Lock()
 	as.beginMutate()
@@ -291,11 +293,13 @@ func (as *AddressSpace) Close() error {
 	as.mmapSem.Unlock()
 	as.tables.ReleaseRoot(as.mapCPU)
 	last := as.fam.live.Add(-1) == 0
-	as.dom.Barrier()
 	if last {
+		as.dom.Close()
 		if n := as.alloc.InUse(); n != 0 {
 			return fmt.Errorf("vm: %d frames still allocated after the last family member closed", n)
 		}
+	} else {
+		as.dom.Flush()
 	}
 	return nil
 }

@@ -7,9 +7,66 @@ import (
 	"bonsai/internal/vm"
 )
 
-// runAll executes every workload against every design with a small
-// configuration and checks the invariant counters.
+// perRunDeadline bounds each workload run. The suite used to hang for
+// the full 10-minute package timeout when reclamation ran a grace
+// period on the munmap path (a fault blocked on a PTE lock the mapper
+// held while it spun in Synchronize); with a per-run deadline the same
+// regression fails in seconds, with a message naming the stuck run.
+const perRunDeadline = 30 * time.Second
+
+// bounded runs fn with a deadline and fails fast on timeout or error.
+func bounded(t *testing.T, name string, fn func() (Result, error)) Result {
+	t.Helper()
+	type outcome struct {
+		res Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := fn()
+		ch <- outcome{r, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("%s: %v", name, o.err)
+		}
+		return o.res
+	case <-time.After(perRunDeadline):
+		t.Fatalf("%s did not finish within %v — reclamation stuck on the mmap/munmap path?", name, perRunDeadline)
+	}
+	return Result{}
+}
+
+// closeBounded tears down the address space with the same deadline:
+// Close flushes the RCU domain, so a stuck grace period hangs here too.
+func closeBounded(t *testing.T, name string, as *vm.AddressSpace) {
+	t.Helper()
+	ch := make(chan error, 1)
+	go func() { ch <- as.Close() }()
+	select {
+	case err := <-ch:
+		if err != nil {
+			t.Fatalf("%s teardown: %v", name, err)
+		}
+	case <-time.After(perRunDeadline):
+		t.Fatalf("%s teardown did not finish within %v", name, perRunDeadline)
+	}
+}
+
+// sizes returns the workload dimensions, scaled down under -short so a
+// quick run still covers every design and code path.
+func sizes(short bool) (segments, segPages, tablePages, bufferOps, chunks, chunkPages, microPages int, microDur time.Duration) {
+	if short {
+		return 2, 32, 32, 20, 4, 16, 128, 20 * time.Millisecond
+	}
+	return 3, 64, 64, 50, 8, 32, 256, 50 * time.Millisecond
+}
+
+// TestWorkloadsAllDesigns executes every workload against every design
+// with a small configuration and checks the invariant counters.
 func TestWorkloadsAllDesigns(t *testing.T) {
+	segments, segPages, tablePages, bufferOps, chunks, chunkPages, microPages, microDur := sizes(testing.Short())
 	for _, d := range vm.Designs {
 		d := d
 		t.Run(d.String(), func(t *testing.T) {
@@ -19,76 +76,94 @@ func TestWorkloadsAllDesigns(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := RunMetis(as, MetisConfig{Workers: workers, SegmentsPerWorker: 3, SegmentPages: 64})
-			if err != nil {
-				t.Fatalf("metis: %v", err)
+			res := bounded(t, "metis", func() (Result, error) {
+				return RunMetis(as, MetisConfig{Workers: workers, SegmentsPerWorker: segments, SegmentPages: segPages})
+			})
+			if want := uint64(workers * segments * segPages); res.Faults != want {
+				t.Fatalf("metis faults = %d, want %d", res.Faults, want)
 			}
-			if res.Faults != workers*3*64 {
-				t.Fatalf("metis faults = %d, want %d", res.Faults, workers*3*64)
-			}
-			if err := as.Close(); err != nil {
-				t.Fatalf("metis teardown: %v", err)
-			}
+			closeBounded(t, "metis", as)
 
 			as, err = vm.New(vm.Config{Design: d, CPUs: workers})
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err = RunPsearchy(as, PsearchyConfig{Workers: workers, TablePages: 64, BufferOps: 50, BufferPage: 2})
-			if err != nil {
-				t.Fatalf("psearchy: %v", err)
-			}
-			want := uint64(workers * (64 + 50))
-			if res.Faults != want {
+			res = bounded(t, "psearchy", func() (Result, error) {
+				return RunPsearchy(as, PsearchyConfig{Workers: workers, TablePages: tablePages, BufferOps: bufferOps, BufferPage: 2})
+			})
+			if want := uint64(workers * (tablePages + bufferOps)); res.Faults != want {
 				t.Fatalf("psearchy faults = %d, want %d", res.Faults, want)
 			}
-			if res.Munmaps != workers*50 {
+			if res.Munmaps != uint64(workers*bufferOps) {
 				t.Fatalf("psearchy munmaps = %d", res.Munmaps)
 			}
-			if err := as.Close(); err != nil {
-				t.Fatalf("psearchy teardown: %v", err)
-			}
+			closeBounded(t, "psearchy", as)
 
 			as, err = vm.New(vm.Config{Design: d, CPUs: workers})
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err = RunDedup(as, DedupConfig{Workers: workers, Chunks: 8, ChunkPages: 32, KeepRatio: 4})
-			if err != nil {
-				t.Fatalf("dedup: %v", err)
-			}
-			if res.Faults != workers*8*32 {
+			res = bounded(t, "dedup", func() (Result, error) {
+				return RunDedup(as, DedupConfig{Workers: workers, Chunks: chunks, ChunkPages: chunkPages, KeepRatio: 4})
+			})
+			if want := uint64(workers * chunks * chunkPages); res.Faults != want {
 				t.Fatalf("dedup faults = %d", res.Faults)
 			}
 			if res.Mmaps != res.Munmaps {
 				t.Fatalf("dedup leaked mappings: %d mmaps, %d munmaps", res.Mmaps, res.Munmaps)
 			}
-			if err := as.Close(); err != nil {
-				t.Fatalf("dedup teardown: %v", err)
-			}
+			closeBounded(t, "dedup", as)
 
 			as, err = vm.New(vm.Config{Design: d, CPUs: 2})
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err = RunMicro(as, MicroConfig{
-				FaultWorkers: 2, Pages: 256, MmapFraction: 0.5,
-				Duration: 50 * time.Millisecond, Seed: 1,
+			res = bounded(t, "micro", func() (Result, error) {
+				return RunMicro(as, MicroConfig{
+					FaultWorkers: 2, Pages: microPages, MmapFraction: 0.5,
+					Duration: microDur, Seed: 1,
+				})
 			})
-			if err != nil {
-				t.Fatalf("micro: %v", err)
-			}
 			if res.Faults == 0 {
 				t.Fatal("micro: no faults")
 			}
 			if res.Mmaps == 0 {
 				t.Fatal("micro: mapper never ran")
 			}
-			if err := as.Close(); err != nil {
-				t.Fatalf("micro teardown: %v", err)
-			}
+			closeBounded(t, "micro", as)
 		})
 	}
+}
+
+// TestMunmapHeavyReclamation hammers the exact path that used to
+// deadlock: a mapper continuously unmapping (retiring frames with PTE
+// locks held) while fault workers sit inside read-side critical
+// sections. The asynchronous domain must keep both sides moving and
+// reclaim everything by teardown.
+func TestMunmapHeavyReclamation(t *testing.T) {
+	const workers = 2
+	as, err := vm.New(vm.Config{Design: vm.PureRCU, CPUs: workers, RCUBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := 100 * time.Millisecond
+	if testing.Short() {
+		dur = 25 * time.Millisecond
+	}
+	res := bounded(t, "munmap-heavy", func() (Result, error) {
+		return RunMicro(as, MicroConfig{
+			FaultWorkers: workers, Pages: 512, MmapFraction: 1.0,
+			Duration: dur, Seed: 7,
+		})
+	})
+	if res.Munmaps == 0 {
+		t.Fatal("mapper never unmapped")
+	}
+	st := as.Domain().Stats()
+	if st.Defers == 0 {
+		t.Fatalf("no deferred reclamation recorded: %+v", st)
+	}
+	closeBounded(t, "munmap-heavy", as)
 }
 
 func TestResultString(t *testing.T) {
