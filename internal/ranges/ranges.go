@@ -1,0 +1,236 @@
+// Package ranges implements an address-range lock manager: exclusive
+// locks keyed by half-open [lo, hi) intervals, granted concurrently
+// whenever the intervals are disjoint. It is the mechanism that lets
+// memory-mapping operations on disjoint address ranges run in parallel
+// — the serialization the paper deliberately keeps ("mmap, munmap, and
+// mprotect are still serialized with the mmap_sem") and that this
+// reproduction removes for its RCU-based designs, where page faults
+// never take the semaphore and mapping operations only need mutual
+// exclusion against overlapping mapping operations.
+//
+// Grant policy: a request is granted immediately when it conflicts with
+// no currently held range and no earlier waiter; otherwise it queues in
+// FIFO order. Checking earlier *waiters*, not just holders, makes the
+// queue starvation-free: once a wide range (say, fork's whole-space
+// lock) is waiting, later overlapping requests line up behind it
+// instead of leap-frogging it forever. Disjoint requests still overtake
+// freely, so the fairness costs no parallelism between non-conflicting
+// operations.
+package ranges
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Guard is one granted or queued range-lock request. A granted Guard
+// must be released exactly once with Unlock.
+type Guard struct {
+	m      *Manager
+	lo, hi uint64
+	ready  chan struct{} // closed when the lock is granted
+	done   bool          // released (manager mutex held when written)
+}
+
+// Lo returns the inclusive lower bound of the locked range.
+func (g *Guard) Lo() uint64 { return g.lo }
+
+// Hi returns the exclusive upper bound of the locked range.
+func (g *Guard) Hi() uint64 { return g.hi }
+
+// Covers reports whether the guard's range contains [lo, hi).
+func (g *Guard) Covers(lo, hi uint64) bool { return g.lo <= lo && hi <= g.hi }
+
+// overlaps reports whether two half-open ranges intersect. Touching
+// ranges ([0,4) and [4,8)) do not conflict.
+func overlaps(alo, ahi, blo, bhi uint64) bool { return alo < bhi && blo < ahi }
+
+// Manager is an address-range lock manager. The zero value is ready to
+// use. All methods are safe for concurrent use.
+type Manager struct {
+	mu    sync.Mutex
+	held  []*Guard // granted, unreleased guards
+	queue []*Guard // waiting requests in arrival order
+
+	acquires  uint64 // locks granted
+	conflicts uint64 // requests that had to wait
+	tryFails  uint64 // TryLock calls refused
+	maxHeld   int    // high-water of concurrently held locks
+}
+
+// Stats is a snapshot of a Manager's counters.
+type Stats struct {
+	Acquires  uint64 // locks granted over the manager's lifetime
+	Conflicts uint64 // Lock calls that blocked on a conflicting range
+	TryFails  uint64 // TryLock calls refused because of a conflict
+	MaxHeld   int    // most locks held concurrently (max parallel writers)
+	Held      int    // locks currently held
+	Waiting   int    // requests currently queued
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Acquires:  m.acquires,
+		Conflicts: m.conflicts,
+		TryFails:  m.tryFails,
+		MaxHeld:   m.maxHeld,
+		Held:      len(m.held),
+		Waiting:   len(m.queue),
+	}
+}
+
+func checkRange(lo, hi uint64) {
+	if lo >= hi {
+		panic(fmt.Sprintf("ranges: invalid range [%#x, %#x)", lo, hi))
+	}
+}
+
+// conflictsLocked reports whether [lo, hi) overlaps a held range or a
+// queued waiter. The manager mutex is held.
+func (m *Manager) conflictsLocked(lo, hi uint64) bool {
+	for _, g := range m.held {
+		if overlaps(lo, hi, g.lo, g.hi) {
+			return true
+		}
+	}
+	for _, g := range m.queue {
+		if overlaps(lo, hi, g.lo, g.hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// grantLocked moves g into the held set. The manager mutex is held.
+func (m *Manager) grantLocked(g *Guard) {
+	m.held = append(m.held, g)
+	m.acquires++
+	if len(m.held) > m.maxHeld {
+		m.maxHeld = len(m.held)
+	}
+}
+
+// Lock acquires an exclusive lock on [lo, hi), blocking while any
+// conflicting range is held or queued ahead of it.
+func (m *Manager) Lock(lo, hi uint64) *Guard {
+	checkRange(lo, hi)
+	g := &Guard{m: m, lo: lo, hi: hi}
+	m.mu.Lock()
+	if !m.conflictsLocked(lo, hi) {
+		m.grantLocked(g)
+		m.mu.Unlock()
+		return g
+	}
+	g.ready = make(chan struct{})
+	m.queue = append(m.queue, g)
+	m.conflicts++
+	m.mu.Unlock()
+	<-g.ready
+	return g
+}
+
+// TryLock attempts to acquire [lo, hi) without blocking. It fails when
+// the range conflicts with any held range or queued waiter (so it never
+// jumps the FIFO queue).
+func (m *Manager) TryLock(lo, hi uint64) (*Guard, bool) {
+	checkRange(lo, hi)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.conflictsLocked(lo, hi) {
+		m.tryFails++
+		return nil, false
+	}
+	g := &Guard{m: m, lo: lo, hi: hi}
+	m.grantLocked(g)
+	return g, true
+}
+
+// Blocked reports whether a request for [lo, hi) would currently have
+// to wait. It is an advisory probe — the answer may be stale by the
+// time the caller acts on it — for diagnostics and tests; the VM's gap
+// search steers with ConflictBeyond, which also says where to resume.
+func (m *Manager) Blocked(lo, hi uint64) bool {
+	checkRange(lo, hi)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.conflictsLocked(lo, hi)
+}
+
+// ConflictBeyond returns the largest exclusive upper bound among held
+// or queued ranges overlapping [lo, hi), and whether any overlapped.
+// Gap searches use it to skip past address space other mapping
+// operations have claimed but not yet populated.
+func (m *Manager) ConflictBeyond(lo, hi uint64) (uint64, bool) {
+	checkRange(lo, hi)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var end uint64
+	found := false
+	scan := func(gs []*Guard) {
+		for _, g := range gs {
+			if overlaps(lo, hi, g.lo, g.hi) && (!found || g.hi > end) {
+				end, found = g.hi, true
+			}
+		}
+	}
+	scan(m.held)
+	scan(m.queue)
+	return end, found
+}
+
+// Unlock releases the guard and grants every waiter that the release
+// unblocks, scanning the queue in FIFO order: a waiter is granted when
+// it conflicts with no held range and no waiter still queued ahead of
+// it. Unlock panics if the guard was already released.
+func (g *Guard) Unlock() {
+	m := g.m
+	m.mu.Lock()
+	if g.done {
+		m.mu.Unlock()
+		panic("ranges: Unlock of released Guard")
+	}
+	g.done = true
+	for i, h := range m.held {
+		if h == g {
+			m.held = append(m.held[:i], m.held[i+1:]...)
+			break
+		}
+	}
+	// Promote waiters. Earlier waiters that stay queued block later
+	// overlapping ones, preserving FIFO fairness among conflicts while
+	// letting disjoint waiters through.
+	remaining := m.queue[:0]
+	for _, w := range m.queue {
+		grant := true
+		for _, h := range m.held {
+			if overlaps(w.lo, w.hi, h.lo, h.hi) {
+				grant = false
+				break
+			}
+		}
+		if grant {
+			for _, earlier := range remaining {
+				if overlaps(w.lo, w.hi, earlier.lo, earlier.hi) {
+					grant = false
+					break
+				}
+			}
+		}
+		if grant {
+			m.grantLocked(w)
+			close(w.ready)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	// Clear the tail so promoted guards aren't retained by the backing
+	// array.
+	for i := len(remaining); i < len(m.queue); i++ {
+		m.queue[i] = nil
+	}
+	m.queue = remaining
+	m.mu.Unlock()
+}

@@ -132,10 +132,15 @@ func (c *CPU) faultRCU(page uint64, write bool) error {
 // faultSlow retries the fault with mmap_sem held (§5.2: "we detect
 // inconsistencies and restart the page fault handler, this time with
 // the mmap_sem held to ensure progress"). Misses escalate to the write
-// lock to handle stack growth.
+// lock to handle stack growth. In the range-locked designs mapping
+// operations no longer hold mmap_sem, so the retry locks the faulting
+// page's range instead.
 func (c *CPU) faultSlow(page uint64, write bool, reason retryReason) error {
 	as := c.as
 	as.stats.retry(reason)
+	if as.rl != nil {
+		return c.faultSlowRanged(page, write)
+	}
 
 	as.mmapSem.RLock()
 	v := as.idx.floorLocked(page)
@@ -159,6 +164,56 @@ func (c *CPU) faultSlow(page uint64, write bool, reason retryReason) error {
 	as.mmapSem.Lock()
 	defer as.mmapSem.Unlock()
 	v = as.idx.floorLocked(page)
+	if v == nil || !v.Contains(page) {
+		grown, err := as.growStackLocked(page)
+		if err != nil {
+			return err
+		}
+		v = grown
+	}
+	if err := checkProt(v, write); err != nil {
+		return err
+	}
+	return c.fillPage(v, page, write, nil, true)
+}
+
+// faultSlowRanged is the retry-with-lock path under range locking: it
+// locks the faulting page's own range, which excludes every mapping
+// operation that could touch the VMA containing the page — by the
+// lockCovering invariant, an operation mutating that VMA (trimming,
+// splitting, deleting, or replacing it) must hold a range covering the
+// VMA's entire extent, which contains this page and therefore
+// conflicts. Operations on VMAs not containing the page proceed
+// concurrently. The page's mapping — its existence, protection, and
+// file offset — is thus pinned while the lock is held, so the fill
+// needs no recheck, exactly like the mmap_sem retry path.
+//
+// Note the trade against the global designs' retry: mmap_sem.RLock is
+// shared, while page-range locks are exclusive and serialize briefly
+// on the manager's mutex. Retries for distinct pages still never wait
+// on each other (their ranges are disjoint), so this only matters for
+// the hard cases the paper also sends through the slow path —
+// file-backed and COW faults — whose cost is dominated by the fill
+// itself, not the manager.
+func (c *CPU) faultSlowRanged(page uint64, write bool) error {
+	as := c.as
+	g := as.rl.Lock(page, page+PageSize)
+	if v := as.idx.floorLocked(page); v != nil && v.Contains(page) {
+		err := checkProt(v, write)
+		if err == nil {
+			err = c.fillPage(v, page, write, nil, true)
+		}
+		g.Unlock()
+		return err
+	}
+	g.Unlock()
+
+	// Still unmapped: grow a stack region or fail. Stack growth
+	// re-indexes a neighboring VMA, so it escalates to the whole-space
+	// lock — the analogue of the global designs' mmap_sem write mode.
+	mg := as.lockAll()
+	defer mg.unlock()
+	v := as.idx.floorLocked(page)
 	if v == nil || !v.Contains(page) {
 		grown, err := as.growStackLocked(page)
 		if err != nil {

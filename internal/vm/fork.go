@@ -28,10 +28,12 @@ func (as *AddressSpace) Fork() (*AddressSpace, error) {
 		return nil, err
 	}
 
-	as.mmapSem.Lock()
-	defer as.mmapSem.Unlock()
-	as.beginMutate()
-	defer as.endMutate()
+	// Fork copies the whole region tree and downgrades every private
+	// PTE, so it takes the whole-space exclusion; under range locking
+	// the manager's FIFO fairness keeps a stream of small disjoint
+	// operations from starving it.
+	mg := as.lockAll()
+	defer mg.unlock()
 	as.stats.forks.Add(1)
 
 	var cloneErr error
@@ -53,11 +55,9 @@ func (as *AddressSpace) Fork() (*AddressSpace, error) {
 	})
 	if cloneErr != nil {
 		// Unwind the partially built child.
-		child.mmapSem.Lock()
-		child.beginMutate()
+		cg := child.lockAll()
 		child.munmapLocked(0, MaxAddress)
-		child.endMutate()
-		child.mmapSem.Unlock()
+		cg.unlock()
 		child.tables.ReleaseRoot(child.mapCPU)
 		as.fam.live.Add(-1)
 		return nil, cloneErr

@@ -105,9 +105,16 @@ func (r Region) String() string {
 }
 
 // Regions returns a snapshot of the mapped regions in address order.
+// In the range-locked designs it takes the whole-space lock so the
+// snapshot is consistent across concurrent disjoint operations.
 func (as *AddressSpace) Regions() []Region {
-	as.mmapSem.RLock()
-	defer as.mmapSem.RUnlock()
+	if as.rl != nil {
+		g := as.rl.Lock(0, MaxAddress)
+		defer g.Unlock()
+	} else {
+		as.mmapSem.RLock()
+		defer as.mmapSem.RUnlock()
+	}
 	out := make([]Region, 0, as.idx.count())
 	as.idx.ascendRangeLocked(0, MaxAddress, func(v *vma.VMA) bool {
 		out = append(out, Region{
@@ -121,6 +128,11 @@ func (as *AddressSpace) Regions() []Region {
 
 // RegionCount returns the number of mapped regions.
 func (as *AddressSpace) RegionCount() int {
+	if as.rl != nil {
+		// Concurrent disjoint operations may be mutating; read through
+		// the design's fault-path synchronization.
+		return as.idx.countRead()
+	}
 	as.mmapSem.RLock()
 	defer as.mmapSem.RUnlock()
 	return as.idx.count()

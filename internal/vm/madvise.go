@@ -1,6 +1,11 @@
 package vm
 
-import "bonsai/internal/pagetable"
+import (
+	"runtime"
+	"time"
+
+	"bonsai/internal/pagetable"
+)
 
 // MadviseDontNeed discards the pages of [addr, addr+length), as
 // madvise(MADV_DONTNEED) does: the regions stay mapped, but every
@@ -24,6 +29,17 @@ func (as *AddressSpace) MadviseDontNeed(addr, length uint64) error {
 	if addr >= MaxAddress || length > MaxAddress-addr {
 		return ErrInvalid
 	}
+	if as.rl != nil {
+		// The zap mutates no VMA, so the lock covers exactly the
+		// operation range — straddling regions need no protection
+		// (their bounds are untouched) and touching ranges stay
+		// concurrent.
+		as.stats.madvises.Add(1)
+		g := as.rl.Lock(addr, addr+length)
+		defer g.Unlock()
+		as.zapRange(addr, addr+length)
+		return nil
+	}
 	as.mmapSem.Lock()
 	defer as.mmapSem.Unlock()
 	as.stats.madvises.Add(1)
@@ -35,16 +51,54 @@ func (as *AddressSpace) MadviseDontNeed(addr, length uint64) error {
 }
 
 // zapRange clears the translations of [lo, hi), retiring page frames
-// through the RCU domain. Caller holds mmap_sem in write mode and has
-// entered the mutation phase. The deferred frees are queued on the
-// mapping-operation CPU's shard and processed by the domain's
+// through the RCU domain. The caller holds the mapping-operation
+// exclusion for [lo, hi) — mmap_sem in write mode with the mutation
+// phase entered, or a range lock covering the range, in which case a
+// disjoint operation may be zapping concurrently (the PTE and
+// page-directory locks make that safe). The deferred frees are queued
+// on the mapping-operation CPU's shard and processed by the domain's
 // background detector — the unmap scan performs no grace-period wait,
 // even though it runs with PTE locks held (a synchronous drain here is
 // the deadlock the asynchronous design exists to prevent).
 func (as *AddressSpace) zapRange(lo, hi uint64) {
-	as.tables.UnmapRange(as.mapCPU, lo, hi, func(pte uint64) {
+	// Shard hint for the deferred frees. With the global semaphore only
+	// one mapping operation runs at a time, so the dedicated mapping
+	// shard is uncontended; under range locking many disjoint unmaps
+	// retire concurrently, so spread them across shards by address
+	// (2 MB granularity) instead of re-serializing on one shard mutex.
+	hint := as.mapCPU
+	if as.rl != nil {
+		hint = as.mapCPU + int(lo>>21)
+	}
+	zapped := false
+	as.tables.UnmapRange(hint, lo, hi, func(pte uint64) {
 		frame := pagetable.PTEFrame(pte)
+		zapped = true
 		as.stats.pagesUnmapped.Add(1)
-		as.dom.DeferOn(as.mapCPU, func() { as.alloc.FreeRemote(frame) })
+		as.dom.DeferOn(hint, func() { as.alloc.FreeRemote(frame) })
 	})
+	if zapped {
+		// Translations were revoked: pay the simulated TLB shootdown.
+		as.simulateShootdown()
+	}
+}
+
+// simulateShootdown charges the configured TLB-shootdown latency to a
+// translation-revoking operation, inside whatever exclusion the caller
+// holds — which is the point: the global designs serialize this wait
+// on mmap_sem, the range-locked designs overlap it across disjoint
+// operations. The wait is a calibrated wall-clock spin that yields its
+// timeslice (a kernel spinning on IPI acks with interrupts enabled),
+// not time.Sleep: the timer wheel's wake-up latency is orders of
+// magnitude coarser than microsecond-scale IPI costs and would swamp
+// the measurement.
+func (as *AddressSpace) simulateShootdown() {
+	d := as.cfg.ShootdownDelay
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
 }

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"bonsai/internal/ranges"
 	"bonsai/internal/vma"
 )
 
@@ -31,6 +32,9 @@ func (as *AddressSpace) Mmap(addr, length uint64, prot vma.Prot, flags vma.Flags
 	if file == nil {
 		flags |= vma.Anon
 	}
+	if as.rl != nil {
+		return as.mmapRanged(addr, length, prot, flags, file, fileOff)
+	}
 
 	as.mmapSem.Lock()
 	defer as.mmapSem.Unlock()
@@ -43,7 +47,7 @@ func (as *AddressSpace) Mmap(addr, length uint64, prot vma.Prot, flags vma.Flags
 		// Planning phase: read-only search for a free range. In the
 		// FaultLock design faults proceed concurrently with this (§5.1).
 		var ok bool
-		base, ok = as.findGapLocked(pageDown(addr), length)
+		base, ok = as.findGap(pageDown(addr), length, false)
 		if !ok {
 			return 0, ErrNoMemory
 		}
@@ -56,44 +60,123 @@ func (as *AddressSpace) Mmap(addr, length uint64, prot vma.Prot, flags vma.Flags
 		// MAP_FIXED replaces whatever was there.
 		as.munmapLocked(base, base+length)
 	}
-
-	// Try to extend the adjacent predecessor rather than insert.
-	if pred := as.idx.floorLocked(base - 1); pred != nil && base > 0 &&
-		pred.End() == base && pred.CanMerge(prot, flags, file, fileOff) {
-		pred.SetEnd(base + length)
-		as.stats.merges.Add(1)
-		return base, nil
-	}
-
-	as.idx.insert(vma.New(base, base+length, prot, flags, file, fileOff))
+	as.mergeOrInsert(base, length, prot, flags, file, fileOff, nil)
 	return base, nil
 }
 
-// findGapLocked finds the lowest free [base, base+length) with
-// base >= max(hint, UnmappedBase). Caller holds mmap_sem.
-func (as *AddressSpace) findGapLocked(hint, length uint64) (uint64, bool) {
+// mmapRanged is Mmap under range locking: the operation locks only the
+// interval it maps (widened to cover straddling regions it will
+// replace and a predecessor it may merge with), so mmaps of disjoint
+// ranges run concurrently.
+func (as *AddressSpace) mmapRanged(addr, length uint64, prot vma.Prot, flags vma.Flags,
+	file *vma.File, fileOff uint64) (uint64, error) {
+	as.stats.mmaps.Add(1)
+
+	if flags&vma.Fixed != 0 {
+		base := addr
+		g := as.lockCovering(base, base+length, true)
+		defer g.Unlock()
+		// MAP_FIXED replaces whatever was there.
+		as.munmapLocked(base, base+length)
+		as.mergeOrInsert(base, length, prot, flags, file, fileOff, g)
+		return base, nil
+	}
+
+	// Non-fixed: the searched-for gap is a resource the range lock
+	// itself reserves. Find a candidate gap, lock it, and re-verify it
+	// is still free — a concurrent mmap that won the race to the same
+	// gap has either locked it first (our TryLock fails) or already
+	// inserted its region (our re-check sees it). Either way we search
+	// again; the gap search skips ranges other operations currently
+	// hold, so contending mappers spread out instead of colliding.
+	hint := pageDown(addr)
+	for attempt := 0; ; attempt++ {
+		base, ok := as.findGap(hint, length, true)
+		if !ok {
+			// Steering skipped everything (e.g. a queued whole-space
+			// fork); pick a gap ignoring reservations and queue for it.
+			base, ok = as.findGap(hint, length, false)
+		}
+		if !ok {
+			return 0, ErrNoMemory
+		}
+		g, acquired := as.rl.TryLock(base, base+length)
+		if !acquired {
+			if attempt < 4 {
+				continue // racing mapper holds it; search again
+			}
+			// Repeated collisions (e.g. a whole-space fork draining the
+			// queue): wait our FIFO turn instead of spinning.
+			g = as.rl.Lock(base, base+length)
+		}
+		// Expand to cover a merge-candidate predecessor, then verify
+		// the gap is still free now that we hold it exclusively.
+		g = as.extendHeld(g, base, base+length, true)
+		if v := as.idx.floorLocked(base + length - 1); v != nil && v.End() > base && v.Start() < base+length {
+			g.Unlock()
+			continue
+		}
+		as.mergeOrInsert(base, length, prot, flags, file, fileOff, g)
+		g.Unlock()
+		return base, nil
+	}
+}
+
+// mergeOrInsert completes an mmap at [base, base+length): it extends an
+// adjacent compatible predecessor in place (§4: "an mmap adjacent to an
+// existing VMA may simply extend that VMA") or inserts a fresh region.
+// Under range locking (g non-nil) the merge additionally requires the
+// held range to cover the predecessor's extent — mutating a VMA outside
+// the held range would race with a disjoint operation — so a merge the
+// lock does not cover falls back to inserting a separate region, which
+// is always correct.
+func (as *AddressSpace) mergeOrInsert(base, length uint64, prot vma.Prot, flags vma.Flags,
+	file *vma.File, fileOff uint64, g *ranges.Guard) {
+	if pred := as.idx.floorLocked(base - 1); pred != nil && base > 0 &&
+		pred.End() == base && pred.CanMerge(prot, flags, file, fileOff) &&
+		(g == nil || g.Covers(pred.Start(), base)) {
+		pred.SetEnd(base + length)
+		as.stats.merges.Add(1)
+		return
+	}
+	as.idx.insert(vma.New(base, base+length, prot, flags, file, fileOff))
+}
+
+// findGap finds the lowest free [base, base+length) with
+// base >= max(hint, UnmappedBase). The global designs call it holding
+// mmap_sem with steer=false. The range-locked designs call it with no
+// exclusion held; with steer set it additionally steers around address
+// ranges that other mapping operations currently hold or await — a
+// racing mmap has effectively reserved its range before its region
+// appears in the tree. Steering can skip the entire space (a queued
+// whole-space fork conflicts with everything), so callers fall back to
+// an unsteered search and queue for the range instead of reporting
+// out-of-memory. The tree reads are the design's concurrent-safe
+// reads; range-locked callers re-verify the gap after locking it.
+func (as *AddressSpace) findGap(hint, length uint64, steer bool) (uint64, bool) {
 	start := hint
 	if start < UnmappedBase {
 		start = UnmappedBase
 	}
-	// A region straddling start pushes it up.
 	if v := as.idx.floorLocked(start); v != nil && v.End() > start {
 		start = v.End()
 	}
 	for {
-		next := as.idx.ceilingLocked(start)
-		if next == nil {
-			break
+		if start >= MaxAddress || MaxAddress-start < length {
+			return 0, false
 		}
-		if next.Start()-start >= length {
-			return start, true
+		if next := as.idx.ceilingLocked(start); next != nil && next.Start()-start < length {
+			start = next.End()
+			continue
 		}
-		start = next.End()
+		if steer {
+			if end, busy := as.rl.ConflictBeyond(start, start+length); busy {
+				start = end
+				continue
+			}
+		}
+		return start, true
 	}
-	if start >= MaxAddress || MaxAddress-start < length {
-		return 0, false
-	}
-	return start, true
 }
 
 // Munmap removes all mappings intersecting [addr, addr+length). Both
@@ -107,6 +190,13 @@ func (as *AddressSpace) Munmap(addr, length uint64) error {
 	if addr >= MaxAddress || length > MaxAddress-addr {
 		return ErrInvalid
 	}
+	if as.rl != nil {
+		as.stats.munmaps.Add(1)
+		g := as.lockCovering(addr, addr+length, false)
+		defer g.Unlock()
+		as.munmapLocked(addr, addr+length)
+		return nil
+	}
 	as.mmapSem.Lock()
 	defer as.mmapSem.Unlock()
 	as.stats.munmaps.Add(1)
@@ -117,8 +207,10 @@ func (as *AddressSpace) Munmap(addr, length uint64) error {
 	return nil
 }
 
-// munmapLocked removes mappings in [lo, hi). The caller holds mmap_sem
-// in write mode and has entered the mutation phase.
+// munmapLocked removes mappings in [lo, hi). The caller holds the
+// mapping-operation exclusion covering the range and every straddling
+// VMA's extent (mmap_sem in write mode, or a lockCovering range lock)
+// and has entered the mutation phase.
 //
 // Region splitting follows Figure 10 exactly: when unmapping the middle
 // of a VMA, the existing VMA's end is adjusted first (time 2) and the

@@ -25,10 +25,22 @@ func (as *AddressSpace) Mprotect(addr, length uint64, prot vma.Prot) error {
 	}
 	lo, hi := addr, addr+length
 
+	if as.rl != nil {
+		as.stats.mprotects.Add(1)
+		g := as.lockCovering(lo, hi, false)
+		defer g.Unlock()
+		return as.mprotectLocked(lo, hi, prot)
+	}
 	as.mmapSem.Lock()
 	defer as.mmapSem.Unlock()
 	as.stats.mprotects.Add(1)
+	return as.mprotectLocked(lo, hi, prot)
+}
 
+// mprotectLocked performs the protection change under the caller's
+// mapping-operation exclusion (mmap_sem write mode, or a range lock
+// covering [lo, hi) and every straddling VMA's extent).
+func (as *AddressSpace) mprotectLocked(lo, hi uint64, prot vma.Prot) error {
 	// Planning phase: collect the overlapping regions and verify the
 	// range is fully mapped (POSIX mprotect fails with ENOMEM on gaps).
 	var overlaps []*vma.VMA
@@ -87,7 +99,9 @@ func (as *AddressSpace) Mprotect(addr, length uint64, prot vma.Prot) error {
 	// Revoke write access from existing translations if the new
 	// protection forbids writing.
 	if prot&vma.ProtWrite == 0 {
-		as.tables.WriteProtectRange(lo, hi)
+		if as.tables.WriteProtectRange(lo, hi) > 0 {
+			as.simulateShootdown()
+		}
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"bonsai/internal/locks"
+	"bonsai/internal/ranges"
 )
 
 // statsCounters holds the address space's atomic counters.
@@ -109,4 +110,21 @@ func (as *AddressSpace) Stats() Stats {
 // the accounting behind the paper's §7.2 lock-contention breakdown.
 func (as *AddressSpace) SemStats() (mmapSem, faultSem, treeSem locks.RWSemStats) {
 	return as.mmapSem.Stats(), as.faultSem.Stats(), as.treeSem.Stats()
+}
+
+// RangeStats exposes the range-lock manager's counters: total range
+// acquisitions, how many had to wait on a conflicting range, and the
+// most range locks ever held concurrently (MaxHeld — the parallelism
+// the global mmap_sem pins at 1). The counters include the fault
+// path's retry-with-lock acquisitions (each locks its faulting page,
+// roughly Stats().Retries() of them), not only mmap/munmap-style
+// operations, so on a file-backed or COW-heavy run subtract the retry
+// count before reading Acquires as mapping-operation volume. It
+// returns zeros for designs that serialize mapping operations on
+// mmap_sem.
+func (as *AddressSpace) RangeStats() ranges.Stats {
+	if as.rl == nil {
+		return ranges.Stats{}
+	}
+	return as.rl.Stats()
 }

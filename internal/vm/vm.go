@@ -23,10 +23,12 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"bonsai/internal/locks"
 	"bonsai/internal/pagetable"
 	"bonsai/internal/physmem"
+	"bonsai/internal/ranges"
 	"bonsai/internal/rcu"
 	"bonsai/internal/vma"
 )
@@ -97,6 +99,26 @@ const (
 	MmapCacheOff
 )
 
+// RangeLockMode controls how memory-mapping operations exclude one
+// another. The paper leaves every mapping operation serialized on the
+// global mmap_sem ("mmap, munmap, and mprotect are still serialized
+// with the mmap_sem"); the range-locked mode goes beyond it, keying
+// the exclusion by address interval so that operations on disjoint
+// ranges run concurrently. Only the RCU designs can use range locks:
+// in RWLock and FaultLock the fault path itself read-locks the global
+// semaphore, so mapping operations must keep write-locking it.
+type RangeLockMode int
+
+// Range-lock modes.
+const (
+	// RangeLocksDefault uses range locks for the Hybrid and PureRCU
+	// designs and the global mmap_sem for RWLock and FaultLock.
+	RangeLocksDefault RangeLockMode = iota
+	// RangeLocksOff serializes every mapping operation on the global
+	// mmap_sem in all designs — the paper-faithful baseline.
+	RangeLocksOff
+)
+
 // Config configures an AddressSpace.
 type Config struct {
 	// Design selects the concurrency design. The zero value is RWLock
@@ -129,6 +151,17 @@ type Config struct {
 	// physical allocator, whose per-CPU magazines are partitioned among
 	// them. Zero means DefaultMaxFamily.
 	MaxFamily int
+	// RangeLocks selects how mapping operations exclude one another;
+	// the zero value gives the RCU designs range locks.
+	RangeLocks RangeLockMode
+	// ShootdownDelay simulates the TLB-shootdown cost of revoking
+	// translations: every unmap or write-protect scan sleeps this long
+	// inside its critical section, modeling the IPI round-trip a real
+	// kernel pays while holding mmap_sem (this user-space VM has no
+	// TLB, so revocation is otherwise unrealistically cheap). The
+	// disjoint-mapping benchmarks use it to reproduce the paper's
+	// long-holder regime; zero (the default) disables it.
+	ShootdownDelay time.Duration
 }
 
 // DefaultMaxFamily supports an original address space plus seven
@@ -145,9 +178,17 @@ const DefaultMaxStackGrowth = 8 << 20
 type AddressSpace struct {
 	cfg Config
 
-	// mmapSem serializes memory-mapping operations in every design; in
-	// RWLock it is also taken (in read mode) by every fault (§4.1).
+	// mmapSem serializes memory-mapping operations in the designs that
+	// keep the paper's global semaphore (RWLock, FaultLock, and any
+	// design with RangeLocksOff); in RWLock it is also taken (in read
+	// mode) by every fault (§4.1). When rl is non-nil it is unused by
+	// mapping operations.
 	mmapSem locks.RWSem
+	// rl, when non-nil, replaces mmap_sem on the mapping side: each
+	// operation locks only the address interval it affects, so
+	// operations on disjoint ranges run concurrently (Hybrid and
+	// PureRCU under RangeLocksDefault).
+	rl *ranges.Manager
 	// faultSem is the FaultLock design's fault lock (§5.1).
 	faultSem locks.RWSem
 	// treeSem protects the region tree in the Hybrid design (§5.2).
@@ -237,7 +278,10 @@ func newMember(cfg Config, fam *family) (*AddressSpace, error) {
 		fam.live.Add(-1)
 		return nil, err
 	}
-	as.idx = newRegionIndex(cfg.Design, cfg.Weight, &as.treeSem, as.dom)
+	if cfg.Design.UsesRCU() && cfg.RangeLocks != RangeLocksOff {
+		as.rl = new(ranges.Manager)
+	}
+	as.idx = newRegionIndex(cfg.Design, cfg.Weight, &as.treeSem, as.dom, as.rl != nil)
 
 	switch cfg.MmapCache {
 	case MmapCacheOn:
@@ -279,6 +323,10 @@ func (as *AddressSpace) NewCPU(id int) *CPU {
 	return &CPU{as: as, id: as.physCPU(id), rd: as.dom.Register()}
 }
 
+// RangeLocked reports whether mapping operations use the range-lock
+// manager (true only for the RCU designs under RangeLocksDefault).
+func (as *AddressSpace) RangeLocked() bool { return as.rl != nil }
+
 // Close tears down the address space: it unmaps everything, frees its
 // page-table root, and flushes the RCU domain (the one place the
 // mapping side blocks on a grace period). When the last family member
@@ -286,11 +334,9 @@ func (as *AddressSpace) NewCPU(id int) *CPU {
 // and returns an error if any physical frame leaked. No operation on
 // this address space may be in flight.
 func (as *AddressSpace) Close() error {
-	as.mmapSem.Lock()
-	as.beginMutate()
+	mg := as.lockAll()
 	as.munmapLocked(0, MaxAddress)
-	as.endMutate()
-	as.mmapSem.Unlock()
+	mg.unlock()
 	as.tables.ReleaseRoot(as.mapCPU)
 	last := as.fam.live.Add(-1) == 0
 	if last {
@@ -320,6 +366,112 @@ func (as *AddressSpace) endMutate() {
 	if as.cfg.Design == FaultLock {
 		as.faultSem.Unlock()
 	}
+}
+
+// mapGuard is the exclusion token for one mapping operation: a range
+// lock in the range-locked designs, or the global mmap_sem (plus the
+// FaultLock mutation phase) otherwise.
+type mapGuard struct {
+	as *AddressSpace
+	g  *ranges.Guard // non-nil iff range-locked
+}
+
+func (mg mapGuard) unlock() {
+	if mg.g != nil {
+		mg.g.Unlock()
+		return
+	}
+	mg.as.endMutate()
+	mg.as.mmapSem.Unlock()
+}
+
+// lockAll acquires the mapping-operation exclusion for the whole
+// address space (fork, Close, stack growth). In the range-locked
+// designs this is a [0, MaxAddress) range lock; the manager's FIFO
+// fairness guarantees it is not starved by a stream of small disjoint
+// operations — once queued, later conflicting requests line up behind
+// it.
+func (as *AddressSpace) lockAll() mapGuard {
+	if as.rl != nil {
+		return mapGuard{as: as, g: as.rl.Lock(0, MaxAddress)}
+	}
+	as.mmapSem.Lock()
+	as.beginMutate()
+	return mapGuard{as: as}
+}
+
+// lockCovering acquires the range-locked designs' exclusion for a
+// mapping operation on [lo, hi). The lock is expanded until it covers
+// the full extent of every VMA straddling either end (a munmap of
+// [lo, hi) tail-trims a region that begins below lo, so the trim must
+// be exclusive over that whole region) and, when mergePred is set, the
+// extent of a region ending exactly at lo (mmap may extend it in
+// place). The expansion loops — dropping the lock and re-acquiring a
+// wider one, never widening while held, so it cannot deadlock with a
+// neighbor expanding toward us — until the acquired range covers
+// everything the operation may mutate. Growth is monotone and bounded
+// by the address space, so the loop terminates.
+//
+// The resulting invariant, relied on throughout the mapping side: a
+// VMA is only ever mutated (bounds adjusted, deleted, replaced) by an
+// operation whose held range covers the VMA's entire extent. Two
+// operations touching the same VMA therefore always conflict, while
+// operations on disjoint VMAs proceed in parallel.
+func (as *AddressSpace) lockCovering(lo, hi uint64, mergePred bool) *ranges.Guard {
+	return as.extendHeld(as.rl.Lock(lo, hi), lo, hi, mergePred)
+}
+
+// extendHeld runs the lockCovering expansion for an already-held
+// guard: while the required cover outgrows it, the guard is dropped
+// and re-acquired wider (monotonically, so the loop terminates).
+func (as *AddressSpace) extendHeld(g *ranges.Guard, lo, hi uint64, mergePred bool) *ranges.Guard {
+	for {
+		nlo, nhi := as.requiredCover(lo, hi, mergePred)
+		if g.Covers(nlo, nhi) {
+			return g
+		}
+		if nlo > g.Lo() {
+			nlo = g.Lo()
+		}
+		if nhi < g.Hi() {
+			nhi = g.Hi()
+		}
+		g.Unlock()
+		g = as.rl.Lock(nlo, nhi)
+	}
+}
+
+// requiredCover returns the interval a mapping operation on [lo, hi)
+// must hold exclusively: [lo, hi) widened to the extents of straddling
+// VMAs (and, for mmap, a merge-candidate predecessor touching lo). The
+// tree reads here are the design's concurrent-safe reads; the caller
+// re-checks after acquiring, when the answer is stable.
+func (as *AddressSpace) requiredCover(lo, hi uint64, mergePred bool) (uint64, uint64) {
+	nlo, nhi := lo, hi
+	if v := as.idx.floorLocked(lo); v != nil && v.Overlaps(lo, hi) {
+		if s := v.Start(); s < nlo {
+			nlo = s
+		}
+		if e := v.End(); e > nhi {
+			nhi = e
+		}
+	}
+	if v := as.idx.floorLocked(hi - 1); v != nil && v.Overlaps(lo, hi) {
+		if s := v.Start(); s < nlo {
+			nlo = s
+		}
+		if e := v.End(); e > nhi {
+			nhi = e
+		}
+	}
+	if mergePred && lo > 0 {
+		if p := as.idx.floorLocked(lo - 1); p != nil && p.End() == lo {
+			if s := p.Start(); s < nlo {
+				nlo = s
+			}
+		}
+	}
+	return nlo, nhi
 }
 
 // pageDown rounds addr down to a page boundary.

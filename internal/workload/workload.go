@@ -20,10 +20,11 @@ import (
 
 // Result summarizes one workload run.
 type Result struct {
-	Faults   uint64
-	Mmaps    uint64
-	Munmaps  uint64
-	Duration time.Duration
+	Faults    uint64
+	Mmaps     uint64
+	Munmaps   uint64
+	Mprotects uint64
+	Duration  time.Duration
 }
 
 // Rate returns faults per second.
@@ -35,8 +36,11 @@ func (r Result) Rate() float64 {
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("faults=%d mmaps=%d munmaps=%d in %v (%.0f faults/s)",
-		r.Faults, r.Mmaps, r.Munmaps, r.Duration, r.Rate())
+	s := fmt.Sprintf("faults=%d mmaps=%d munmaps=%d", r.Faults, r.Mmaps, r.Munmaps)
+	if r.Mprotects > 0 {
+		s += fmt.Sprintf(" mprotects=%d", r.Mprotects)
+	}
+	return s + fmt.Sprintf(" in %v (%.0f faults/s)", r.Duration, r.Rate())
 }
 
 // MetisConfig shapes a Metis-like run: workers map large anonymous
@@ -241,6 +245,88 @@ func RunDedup(as *vm.AddressSpace, cfg DedupConfig) (Result, error) {
 	}
 	return Result{Faults: faults.Load(), Mmaps: mmaps.Load(), Munmaps: munmaps.Load(),
 		Duration: time.Since(start)}, nil
+}
+
+// DisjointConfig shapes the disjoint-arena stress: every worker owns a
+// private, widely separated address range (a per-thread allocator
+// arena) and churns map/fault/protect/unmap cycles on it. No two
+// workers' operations ever overlap, so under range locking the mapping
+// operations themselves run fully in parallel — the workload the
+// global mmap_sem serializes to a single writer at a time.
+type DisjointConfig struct {
+	Workers    int
+	ArenaPages int    // pages per arena (default 64)
+	FaultPages int    // pages soft-faulted per round (default 4)
+	Rounds     int    // map/fault/protect/unmap cycles per worker
+	Stride     uint64 // spacing between worker arenas (default 1 GB)
+}
+
+// RunDisjointArenas executes the disjoint-arena workload. Workers
+// require fault contexts: cfg.Workers must not exceed the address
+// space's Config.CPUs.
+func RunDisjointArenas(as *vm.AddressSpace, cfg DisjointConfig) (Result, error) {
+	if cfg.ArenaPages == 0 {
+		cfg.ArenaPages = 64
+	}
+	if cfg.FaultPages == 0 {
+		cfg.FaultPages = 4
+	}
+	if cfg.FaultPages > cfg.ArenaPages {
+		cfg.FaultPages = cfg.ArenaPages
+	}
+	if cfg.Stride == 0 {
+		cfg.Stride = 1 << 30
+	}
+	size := uint64(cfg.ArenaPages) * vm.PageSize
+	if cfg.Stride < size {
+		return Result{}, fmt.Errorf("workload: stride %#x smaller than arena size %#x", cfg.Stride, size)
+	}
+	var faults, mmaps, munmaps, mprotects atomic.Uint64
+	errCh := make(chan error, cfg.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cpu := as.NewCPU(id)
+			base := vm.UnmappedBase + uint64(id+1)*cfg.Stride
+			for r := 0; r < cfg.Rounds; r++ {
+				if _, err := as.Mmap(base, size, vma.ProtRead|vma.ProtWrite, vma.Fixed, nil, 0); err != nil {
+					errCh <- fmt.Errorf("worker %d mmap: %w", id, err)
+					return
+				}
+				mmaps.Add(1)
+				for p := 0; p < cfg.FaultPages; p++ {
+					if err := cpu.Fault(base+uint64(p)*vm.PageSize, true); err != nil {
+						errCh <- fmt.Errorf("worker %d fault: %w", id, err)
+						return
+					}
+					faults.Add(1)
+				}
+				// Write-protect the faulted prefix (splits the arena VMA
+				// and revokes PTE write access), as an allocator sealing
+				// a metadata header would.
+				if err := as.Mprotect(base, uint64(cfg.FaultPages)*vm.PageSize, vma.ProtRead); err != nil {
+					errCh <- fmt.Errorf("worker %d mprotect: %w", id, err)
+					return
+				}
+				mprotects.Add(1)
+				if err := as.Munmap(base, size); err != nil {
+					errCh <- fmt.Errorf("worker %d munmap: %w", id, err)
+					return
+				}
+				munmaps.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return Result{}, err
+	}
+	return Result{Faults: faults.Load(), Mmaps: mmaps.Load(), Munmaps: munmaps.Load(),
+		Mprotects: mprotects.Load(), Duration: time.Since(start)}, nil
 }
 
 // MicroConfig shapes the §7.3 microbenchmark on the real VM system:

@@ -166,6 +166,51 @@ func TestMunmapHeavyReclamation(t *testing.T) {
 	closeBounded(t, "munmap-heavy", as)
 }
 
+// TestDisjointArenasAllDesigns drives the disjoint-arena workload
+// through every design. In the range-locked designs (Hybrid, PureRCU)
+// the workers' mapping operations never overlap, so none may ever wait
+// on a range conflict; the lock-based designs run the same workload
+// serialized on mmap_sem, checking semantics are identical.
+func TestDisjointArenasAllDesigns(t *testing.T) {
+	const workers = 4
+	rounds := 50
+	if testing.Short() {
+		rounds = 10
+	}
+	for _, d := range vm.Designs {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			as, err := vm.New(vm.Config{Design: d, CPUs: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := bounded(t, "disjoint-arenas", func() (Result, error) {
+				return RunDisjointArenas(as, DisjointConfig{Workers: workers, Rounds: rounds})
+			})
+			want := uint64(workers * rounds)
+			if res.Mmaps != want || res.Munmaps != want || res.Mprotects != want {
+				t.Fatalf("ops = %d/%d/%d, want %d each", res.Mmaps, res.Munmaps, res.Mprotects, want)
+			}
+			if n := as.RegionCount(); n != 0 {
+				t.Fatalf("%d regions leaked after all arenas unmapped", n)
+			}
+			rst := as.RangeStats()
+			if as.RangeLocked() {
+				if rst.Acquires == 0 {
+					t.Fatal("range-locked design recorded no range acquisitions")
+				}
+				if rst.Conflicts != 0 {
+					t.Fatalf("disjoint arenas hit %d range conflicts, want 0", rst.Conflicts)
+				}
+			} else if rst.Acquires != 0 {
+				t.Fatalf("global-sem design recorded %d range acquisitions", rst.Acquires)
+			}
+			t.Logf("%s: %v (range stats %+v)", d, res, rst)
+			closeBounded(t, "disjoint-arenas", as)
+		})
+	}
+}
+
 func TestResultString(t *testing.T) {
 	r := Result{Faults: 100, Mmaps: 2, Munmaps: 1, Duration: time.Second}
 	if r.Rate() != 100 {
