@@ -339,6 +339,8 @@ func benchDisjointMmap(b *testing.B, mode vm.RangeLockMode) {
 	b.ReportMetric(float64(res.Mmaps+res.Munmaps+res.Mprotects)/res.Duration.Seconds(), "mapops/s")
 	st := as.RangeStats()
 	b.ReportMetric(float64(st.MaxHeld), "max-writers")
+	b.ReportMetric(float64(st.Acquires), "range-acquires")
+	b.ReportMetric(float64(st.Conflicts), "range-conflicts")
 	if err := as.Close(); err != nil {
 		b.Fatal(err)
 	}
@@ -392,6 +394,71 @@ func BenchmarkDisjointMmap(b *testing.B) {
 		b.ReportMetric(global.Seconds()/ranged.Seconds(), "disjoint-scaling-x")
 	}
 }
+
+// ---- Shared-file fault benchmarks (the page-cache fast path) ----
+
+// Shared-file storm shape: 2 address spaces × 2 workers over one file,
+// each worker fault-storming and DONTNEED-zapping its 64-page chunk.
+// After the first round every fault is a page-cache hit, so the
+// benchmark isolates the file-fault path itself.
+const (
+	sharedFileSpaces  = 2
+	sharedFileWorkers = 2
+	sharedFileChunk   = 64
+)
+
+// benchSharedFileFault runs the shared-file storm on the given design.
+// One op is one fault. Cross-address-space sharing is real in every
+// design (the page cache is family-wide); what differs is the fault
+// path: PureRCU resolves cache-hit faults with no global lock, while
+// the RWLock baseline's faults and DONTNEED zaps serialize on each
+// space's mmap_sem.
+//
+// As with BenchmarkDisjointMmap, the storm runs in the long-holder
+// regime (Config.ShootdownDelay): each DONTNEED zap pays a simulated
+// TLB-shootdown wait inside its critical section. The global-sem
+// baseline makes its space's faults wait out that shootdown under
+// mmap_sem; the range-locked RCU design keeps faulting — the page-cache
+// hit path takes no lock a zap could hold.
+func benchSharedFileFault(b *testing.B, d vm.Design) {
+	as, err := vm.New(vm.Config{
+		Design: d, CPUs: sharedFileWorkers, Frames: 1 << 20, MaxFamily: sharedFileSpaces,
+		ShootdownDelay: 20 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	faultsPerRound := sharedFileSpaces * sharedFileWorkers * sharedFileChunk
+	rounds := b.N/faultsPerRound + 1
+	b.ResetTimer()
+	res, err := workload.RunSharedFile(as, workload.SharedFileConfig{
+		Spaces: sharedFileSpaces, Workers: sharedFileWorkers,
+		ChunkPages: sharedFileChunk, Rounds: rounds, WriteEvery: 8,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Rate(), "faults/s")
+	st := as.Stats()
+	b.ReportMetric(float64(st.PageCacheHits), "pc-hits")
+	b.ReportMetric(float64(st.PageCacheMisses), "pc-fills")
+	b.ReportMetric(float64(st.PageCacheCoalesced), "pc-coalesced")
+	b.ReportMetric(float64(st.PageCacheDirty), "pc-dirty")
+	if err := as.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSharedFileFault is the lock-free file-fault fast path:
+// PureRCU, where a cache-hit fault is an RCU region lookup plus an RCU
+// cache lookup and takes no lock beyond the page's PTE lock.
+func BenchmarkSharedFileFault(b *testing.B) { benchSharedFileFault(b, vm.PureRCU) }
+
+// BenchmarkSharedFileFaultGlobalSem is the baseline: the identical
+// storm on the stock RWLock design, every fault read-locking mmap_sem
+// and every DONTNEED zap write-locking it.
+func BenchmarkSharedFileFaultGlobalSem(b *testing.B) { benchSharedFileFault(b, vm.RWLock) }
 
 // ---- RCU reclamation benchmarks (the asynchronous retire path) ----
 

@@ -25,9 +25,12 @@ import (
 
 // headlineBenchmarks is the default -bench pattern: the reclamation
 // benchmarks whose pending-hw/gp-avg-ns metrics anchor the RCU
-// trajectory, and the disjoint-mapping benchmarks whose scaling factor
-// anchors the range-lock trajectory.
-const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem)$`
+// trajectory, the disjoint-mapping benchmarks whose scaling factor and
+// range-acquires/range-conflicts counters anchor the range-lock
+// trajectory, and the shared-file benchmarks whose faults/s and
+// pc-hits/pc-fills/pc-coalesced/pc-dirty counters anchor the page-cache
+// trajectory (file-fault scaling vs the global-sem baseline).
+const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem|BenchmarkSharedFileFault|BenchmarkSharedFileFaultGlobalSem)$`
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {

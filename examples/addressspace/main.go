@@ -34,7 +34,7 @@ func main() {
 
 	// A read-only file mapping: page contents come from the simulated
 	// file's deterministic pattern.
-	lib := &vma.File{Name: "libdemo.so", Seed: 42}
+	lib := vma.NewFile("libdemo.so", 42)
 	text, err := as.Mmap(0, 16*vm.PageSize, vma.ProtRead|vma.ProtExec, vma.Private, lib, 0)
 	if err != nil {
 		log.Fatal(err)

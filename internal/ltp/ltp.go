@@ -421,7 +421,7 @@ func caseFileContents(cfg vm.Config) error {
 	}
 	cpu := as.NewCPU(0)
 	run := func() error {
-		f := &vma.File{Name: "libtest.so", Seed: 31337}
+		f := vma.NewFile("libtest.so", 31337)
 		base, err := as.Mmap(0, 4*vm.PageSize, vma.ProtRead, vma.Private, f, 8*vm.PageSize)
 		if err != nil {
 			return err

@@ -1,0 +1,355 @@
+// Package pagecache implements a per-file page cache: the radix-keyed
+// map from file page offsets to physical frames that lets every address
+// space mapping a file share one frame per page, the way the kernel's
+// struct address_space does. The paper stops short of this — its
+// implementation "handles file-backed and COW faults by retrying with
+// the lock held" (§6) — so this package extends the paper's RCU-lookup
+// discipline from the region index to the file layer: lookups are
+// lock-free RCU reads validated by a per-page deleted mark (the same
+// double-check shape as §5.2's VMA check), while inserts and removals
+// serialize on one per-file mutex.
+//
+// Frame ownership rules:
+//
+//   - The cache holds one physmem reference for every resident page,
+//     taken at fill time (the frame is allocated with refcount 1, owned
+//     by the cache).
+//   - Every page-table entry mapping a cached frame holds one further
+//     reference, taken by the faulting CPU before it installs the PTE
+//     and dropped by the unmap/zap path (munmap, madvise(DONTNEED),
+//     mprotect-replacement zaps, address-space teardown) through the
+//     usual RCU-deferred physmem.FreeRemote.
+//   - Drop removes pages from the cache and releases the cache's own
+//     reference after a grace period, so a concurrent lock-free faulter
+//     that found the page can still safely take its mapping reference
+//     inside its read-side critical section.
+//
+// Lookup/FindOrCreate callers MUST therefore be inside an RCU read-side
+// critical section of the cache's domain: the grace period is what
+// keeps the returned page's frame allocated (refcount held) long enough
+// for the caller to take its own reference and run the deleted-mark
+// double check.
+package pagecache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bonsai/internal/physmem"
+	"bonsai/internal/rcu"
+)
+
+// Radix geometry: like the page-table tree, 512-way nodes over the file
+// page index (offset >> 12). Five levels cover 57-bit byte offsets,
+// comfortably beyond the 48-bit address space a mapping can span.
+const (
+	pageShift = 12
+	entryBits = 9
+	fanout    = 1 << entryBits
+	levels    = 5
+	// MaxOffset is one past the highest cacheable file byte offset.
+	MaxOffset = uint64(1) << (pageShift + levels*entryBits)
+)
+
+// Page is one resident file page. Its frame is stable for the Page's
+// lifetime; the deleted mark is set (under the cache mutex) when the
+// page is dropped, and is what lock-free faulters double-check after
+// taking their mapping reference.
+type Page struct {
+	cache   *Cache
+	off     uint64 // page-aligned byte offset in the file
+	frame   physmem.Frame
+	dirty   atomic.Bool
+	deleted atomic.Bool
+}
+
+// Frame returns the physical frame backing the page.
+func (p *Page) Frame() physmem.Frame { return p.frame }
+
+// Offset returns the page's byte offset in the file.
+func (p *Page) Offset() uint64 { return p.off }
+
+// Deleted reports whether the page has been dropped from the cache.
+// Faulters check this after taking a frame reference; a set mark means
+// the reference must be returned and the fault retried.
+func (p *Page) Deleted() bool { return p.deleted.Load() }
+
+// Dirty reports whether the page has been written through a shared
+// mapping since the last writeback.
+func (p *Page) Dirty() bool { return p.dirty.Load() }
+
+// MarkDirty records a store through a shared mapping. Safe from any
+// goroutine; the cache's dirty-page counter tracks transitions.
+func (p *Page) MarkDirty() {
+	if !p.dirty.Swap(true) {
+		p.cache.dirtyPages.Add(1)
+	}
+}
+
+// node is one radix level. Level 1 nodes hold pages; higher levels hold
+// child nodes. Slots are atomic pointers so lock-free readers descend
+// with plain loads; all stores happen under the cache mutex.
+type node struct {
+	level int
+	kids  []atomic.Pointer[node] // level > 1
+	pages []atomic.Pointer[Page] // level == 1
+}
+
+func newNode(level int) *node {
+	n := &node{level: level}
+	if level == 1 {
+		n.pages = make([]atomic.Pointer[Page], fanout)
+	} else {
+		n.kids = make([]atomic.Pointer[node], fanout)
+	}
+	return n
+}
+
+// slot returns the node's slot index for the given byte offset.
+func (n *node) slot(off uint64) int {
+	return int(off>>(pageShift+uint(n.level-1)*entryBits)) & (fanout - 1)
+}
+
+// Cache is the page cache of one file. Lookups are lock-free (callers
+// hold an RCU read section); FindOrCreate's miss path and Drop/Writeback
+// serialize on mu.
+type Cache struct {
+	fileID uint64
+	label  string
+	alloc  *physmem.Allocator
+	dom    *rcu.Domain
+
+	mu   sync.Mutex // serializes fills, drops, and writeback scans
+	root *node
+
+	resident   atomic.Int64
+	hits       atomic.Uint64
+	misses     atomic.Uint64 // fills: faults that populated the cache
+	coalesced  atomic.Uint64 // faulters that waited out a concurrent fill
+	dropped    atomic.Uint64
+	dirtyPages atomic.Int64
+	writebacks atomic.Uint64
+}
+
+// New returns an empty cache for the file with the given stable ID and
+// display label. Frames come from alloc; drops defer their frees
+// through dom.
+func New(fileID uint64, label string, alloc *physmem.Allocator, dom *rcu.Domain) *Cache {
+	return &Cache{fileID: fileID, label: label, alloc: alloc, dom: dom, root: newNode(levels)}
+}
+
+// FileID returns the stable ID of the cached file.
+func (c *Cache) FileID() uint64 { return c.fileID }
+
+// Label returns the file's display label (name#id).
+func (c *Cache) Label() string { return c.label }
+
+// SameAllocator reports whether the cache's frames come from a. The VM
+// layer uses it to reject mapping a file whose cache belongs to a
+// different simulated machine.
+func (c *Cache) SameAllocator(a *physmem.Allocator) bool { return c.alloc == a }
+
+func checkOffset(off uint64) {
+	if off >= MaxOffset {
+		panic(fmt.Sprintf("pagecache: offset %#x beyond %d-bit cache", off, pageShift+levels*entryBits))
+	}
+}
+
+// lookup descends to the page at off with plain atomic loads. off is
+// page-aligned by masking.
+func (c *Cache) lookup(off uint64) *Page {
+	n := c.root
+	for n.level > 1 {
+		n = n.kids[n.slot(off)].Load()
+		if n == nil {
+			return nil
+		}
+	}
+	return n.pages[n.slot(off)].Load()
+}
+
+// Lookup returns the resident page covering off, or nil on a miss. The
+// caller must be inside an RCU read-side critical section of the
+// cache's domain, and must re-check Deleted after taking its own frame
+// reference (see the package comment's ownership rules).
+func (c *Cache) Lookup(off uint64) *Page {
+	checkOffset(off)
+	pg := c.lookup(off &^ (physmem.PageSize - 1))
+	if pg == nil || pg.Deleted() {
+		return nil
+	}
+	return pg
+}
+
+// FindOrCreate returns the page covering off, filling it if absent:
+// fill receives the freshly allocated frame and initializes its
+// contents. The hit path is the lock-free Lookup; the miss path
+// serializes on the per-file mutex, so concurrent faulters on the same
+// page coalesce — the losers block briefly and then find the winner's
+// page instead of double-filling. cpu selects the allocator magazine
+// for the fill. Callers must be inside an RCU read-side critical
+// section (see Lookup).
+func (c *Cache) FindOrCreate(cpu int, off uint64, fill func(physmem.Frame)) (*Page, error) {
+	checkOffset(off)
+	off &^= physmem.PageSize - 1
+	if pg := c.lookup(off); pg != nil && !pg.Deleted() {
+		c.hits.Add(1)
+		return pg, nil
+	}
+	c.mu.Lock()
+	if pg := c.lookup(off); pg != nil && !pg.Deleted() {
+		// A concurrent faulter filled the page while we waited.
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		return pg, nil
+	}
+	frame, err := c.alloc.Alloc(cpu)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if fill != nil {
+		fill(frame)
+	}
+	pg := &Page{cache: c, off: off, frame: frame}
+	c.insertLocked(off, pg)
+	c.resident.Add(1)
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return pg, nil
+}
+
+// insertLocked publishes pg at off, growing the radix path as needed.
+// The cache mutex is held; missing nodes are built and then published
+// with one atomic store each, so lock-free readers see either nothing
+// or a fully formed path.
+func (c *Cache) insertLocked(off uint64, pg *Page) {
+	n := c.root
+	for n.level > 1 {
+		slot := n.slot(off)
+		next := n.kids[slot].Load()
+		if next == nil {
+			next = newNode(n.level - 1)
+			n.kids[slot].Store(next)
+		}
+		n = next
+	}
+	n.pages[n.slot(off)].Store(pg)
+}
+
+// Drop removes every resident page with byte offset in [lo, hi) and
+// returns how many were removed. Each page is marked deleted, unlinked,
+// and its cache-owned frame reference released only after an RCU grace
+// period — a lock-free faulter that found the page before the drop can
+// still take its mapping reference safely inside its read section (its
+// deleted-mark double check then sends it back for a retry).
+//
+// Dropping does not zap page-table entries: like removing a page from
+// the kernel's page cache, existing mappings keep their frames (and
+// their references) until they are unmapped.
+func (c *Cache) Drop(lo, hi uint64) int {
+	if hi > MaxOffset {
+		hi = MaxOffset
+	}
+	if lo >= hi {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	c.walkLocked(c.root, func(n *node, slot int, pg *Page) {
+		if pg.off < lo || pg.off >= hi {
+			return
+		}
+		pg.deleted.Store(true)
+		n.pages[slot].Store(nil)
+		if pg.dirty.Swap(false) {
+			c.dirtyPages.Add(-1)
+		}
+		frame := pg.frame
+		c.dom.Defer(func() { c.alloc.FreeRemote(frame) })
+		dropped++
+	})
+	c.resident.Add(int64(-dropped))
+	c.dropped.Add(uint64(dropped))
+	return dropped
+}
+
+// DropAll removes every resident page (teardown, or a simulated
+// truncate to zero).
+func (c *Cache) DropAll() int { return c.Drop(0, MaxOffset) }
+
+// Writeback clears the dirty mark of every dirty page, invoking wb (if
+// non-nil) with each page's offset and frame — the hook a real backing
+// store would write from. It returns the number of pages written back.
+func (c *Cache) Writeback(wb func(off uint64, frame physmem.Frame)) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	written := 0
+	c.walkLocked(c.root, func(_ *node, _ int, pg *Page) {
+		if !pg.dirty.Swap(false) {
+			return
+		}
+		c.dirtyPages.Add(-1)
+		if wb != nil {
+			wb(pg.off, pg.frame)
+		}
+		written++
+	})
+	c.writebacks.Add(uint64(written))
+	return written
+}
+
+// walkLocked visits every resident page under the cache mutex. Visit
+// order is ascending offset.
+func (c *Cache) walkLocked(n *node, visit func(n *node, slot int, pg *Page)) {
+	if n.level == 1 {
+		for i := range n.pages {
+			if pg := n.pages[i].Load(); pg != nil {
+				visit(n, i, pg)
+			}
+		}
+		return
+	}
+	for i := range n.kids {
+		if child := n.kids[i].Load(); child != nil {
+			c.walkLocked(child, visit)
+		}
+	}
+}
+
+// Stats is a snapshot of cache counters.
+type Stats struct {
+	Resident   int64  // pages currently cached
+	Hits       uint64 // lock-free lookup hits
+	Misses     uint64 // fills (faults that populated the cache)
+	Coalesced  uint64 // faulters that waited out a concurrent fill of the same page
+	Dropped    uint64 // pages removed by Drop
+	DirtyPages int64  // pages currently dirty
+	Writebacks uint64 // pages cleaned by Writeback
+}
+
+// Add accumulates o into s (for aggregating per-file caches).
+func (s *Stats) Add(o Stats) {
+	s.Resident += o.Resident
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Coalesced += o.Coalesced
+	s.Dropped += o.Dropped
+	s.DirtyPages += o.DirtyPages
+	s.Writebacks += o.Writebacks
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Resident:   c.resident.Load(),
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Coalesced:  c.coalesced.Load(),
+		Dropped:    c.dropped.Load(),
+		DirtyPages: c.dirtyPages.Load(),
+		Writebacks: c.writebacks.Load(),
+	}
+}

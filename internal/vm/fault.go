@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"bonsai/internal/pagecache"
 	"bonsai/internal/pagetable"
 	"bonsai/internal/physmem"
 	"bonsai/internal/vma"
@@ -68,7 +69,7 @@ type retryReason int
 const (
 	retryMiss     retryReason = iota // no VMA found (miss, split race, or stack growth)
 	retryFillRace                    // §5.2 page-table fill race detected
-	retryFile                        // file-backed hard case (§6)
+	retryFile                        // file-backed hard case (§6; gone since the page cache — see faultRCU)
 	retryCow                         // copy-on-write hard case (§6)
 )
 
@@ -107,12 +108,10 @@ func (c *CPU) faultRCU(page uint64, write bool) error {
 		c.rd.Unlock()
 		return err
 	}
-	if v.File() != nil {
-		// Hard case: the implementation handles file-backed and COW
-		// faults by retrying with the lock held (§6).
-		c.rd.Unlock()
-		return c.faultSlow(page, write, retryFile)
-	}
+	// File-backed faults no longer bail to the slow path (the paper's §6
+	// hard case): they resolve through the file's page cache, whose
+	// lookup is itself a lock-free RCU read — see makeFilePTE. Only the
+	// copy-on-write upgrade still retries with the lock held.
 
 	// Revalidate under the PTE lock: "the page fault handler
 	// double-checks that the VMA has not been marked as deleted and
@@ -268,29 +267,37 @@ func checkProt(v *vma.VMA, write bool) error {
 }
 
 // fillPage installs or upgrades the PTE for page under the PTE lock,
-// allocating and initializing a frame if the entry is empty and
-// breaking copy-on-write when a write hits a COW page. recheck, when
-// non-nil, is the §5.2 double check run under the PTE lock. allowCow
-// selects whether COW breaks happen here (the lock-held paths) or force
-// a retry-with-lock (the RCU fast path, per §6: "for ... copy-on-write
-// faults, the implementation retries the page fault with the lock
-// held"). On a detected race fillPage returns errRetrySlow.
-func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool, allowCow bool) error {
+// allocating a frame (anonymous) or resolving the file's page cache
+// (file-backed) if the entry is empty, and breaking copy-on-write when
+// a write hits a COW page. recheck, when non-nil, is the §5.2 double
+// check run under the PTE lock. locked says whether the caller holds a
+// lock excluding mapping operations (mmap_sem/faultSem in read mode, or
+// a range lock on the page); it selects whether COW breaks happen here
+// or force a retry-with-lock (the RCU fast path, per §6: "for ...
+// copy-on-write faults, the implementation retries the page fault with
+// the lock held"), and whether the file-cache interaction must open its
+// own RCU read section (the unlocked caller, faultRCU, already holds
+// one). On a detected race fillPage returns errRetrySlow.
+func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool, locked bool) error {
 	as := c.as
 	pt, err := as.tables.EnsureTable(c.id, page)
 	if err != nil {
 		return ErrNoMemory
 	}
 	makeCopy := func(old uint64) (uint64, error) { return c.cowBreak(old) }
-	if !allowCow {
+	if !locked {
 		makeCopy = nil
 	}
 	res, err := as.tables.FillOrUpgrade(page, pt, write, recheck, func() (uint64, error) {
+		if f := v.File(); f != nil {
+			if pc := f.PageCache(); pc != nil {
+				return c.makeFilePTE(v, pc, page, write, locked)
+			}
+		}
 		frame, err := as.alloc.Alloc(c.id)
 		if err != nil {
 			return 0, err
 		}
-		as.initPage(v, page, frame)
 		return pagetable.MakePTE(frame, v.Prot()&vma.ProtWrite != 0), nil
 	}, makeCopy)
 	if err != nil {
@@ -304,24 +311,99 @@ func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool,
 	case pagetable.FillInstalled:
 		as.stats.pagesMapped.Add(1)
 	case pagetable.FillUpgraded:
-		as.stats.cowBreaks.Add(1)
+		// A write upgrade on a shared file page is not a COW break — it
+		// is the dirty-tracking transition (shared file pages install
+		// read-only on read faults so the first store is observable; see
+		// makeFilePTE). Only non-shared upgrades count toward CowBreaks.
+		if f := v.File(); f != nil && v.Flags()&vma.Shared != 0 {
+			if pc := f.PageCache(); pc != nil {
+				if pg := pc.Lookup(v.FileOffset(page)); pg != nil {
+					pg.MarkDirty()
+				}
+			}
+		} else {
+			as.stats.cowBreaks.Add(1)
+		}
 	default:
 		as.stats.faultsAlreadyMapped.Add(1) // a concurrent fault won
 	}
 	return nil
 }
 
-// initPage fills a freshly allocated page's contents: zeros for
-// anonymous memory (the allocator pre-zeroes), or the backing file's
-// deterministic pattern for file mappings.
-func (as *AddressSpace) initPage(v *vma.VMA, page uint64, frame physmem.Frame) {
-	if !as.cfg.Backing || v.File() == nil {
-		return
+// makeFilePTE builds the PTE for an empty entry of a file-backed
+// mapping by resolving the file's page cache. It runs under the PTE
+// lock, invoked by FillOrUpgrade's makeFrame. The cases:
+//
+//   - Shared: the cache frame itself is mapped, so every address space
+//     mapping the file sees the same memory. The PTE is writable only
+//     when the faulting access is a write (read faults install
+//     read-only so the first store faults again and marks the page
+//     dirty via the upgrade path).
+//   - Private, read fault: the cache frame is mapped read-only with the
+//     COW mark; the first store breaks COW through the usual cowBreak,
+//     copying the page into a private frame.
+//   - Private, write fault: COW is broken up front — a private frame is
+//     allocated and the cached contents copied, with no intermediate
+//     shared mapping.
+//
+// Mapped cache frames carry one physmem reference per PTE, taken here
+// before the deleted-mark double check: the caller is inside an RCU
+// read-side critical section (entered below when the caller holds a
+// lock instead), so a concurrent Drop cannot release the cache's own
+// reference — deferred past a grace period — before the check decides
+// whether this reference was taken in time. A page dropped under us is
+// simply retried; the next FindOrCreate fills a fresh page.
+func (c *CPU) makeFilePTE(v *vma.VMA, pc *pagecache.Cache, page uint64, write, locked bool) (uint64, error) {
+	as := c.as
+	off := v.FileOffset(page)
+	if locked {
+		// The lock-held fault paths are not RCU readers; the cache's
+		// lookup/ref protocol requires a read section, so open one.
+		c.rd.Lock()
+		defer c.rd.Unlock()
 	}
-	b := v.File().PageByte(v.FileOffset(page))
-	data := as.alloc.Data(frame)
-	for i := range data {
-		data[i] = b
+	for {
+		pg, err := pc.FindOrCreate(c.id, off, func(frame physmem.Frame) {
+			if !as.cfg.Backing {
+				return
+			}
+			b := v.File().PageByte(off)
+			data := as.alloc.Data(frame)
+			for i := range data {
+				data[i] = b
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		shared := v.Flags()&vma.Shared != 0
+		if !shared && write {
+			// Private write fault: map a private copy of the cached
+			// page. The RCU read section keeps pg's frame alive for the
+			// copy even if the page is dropped concurrently.
+			frame, err := as.alloc.Alloc(c.id)
+			if err != nil {
+				return 0, err
+			}
+			if as.cfg.Backing {
+				*as.alloc.Data(frame) = *as.alloc.Data(pg.Frame())
+			}
+			return pagetable.MakePTE(frame, true), nil
+		}
+		// Map the cache frame: take the mapping reference, then run the
+		// deleted-mark double check (the §5.2 shape, at the file layer).
+		as.alloc.Ref(pg.Frame())
+		if pg.Deleted() {
+			as.alloc.FreeRemote(pg.Frame()) // dropped under us; undo and retry
+			continue
+		}
+		if shared {
+			if write {
+				pg.MarkDirty()
+			}
+			return pagetable.MakePTE(pg.Frame(), write), nil
+		}
+		return pagetable.MakeCowPTE(pg.Frame()), nil
 	}
 }
 

@@ -99,7 +99,7 @@ type Region struct {
 func (r Region) String() string {
 	name := ""
 	if r.File != nil {
-		name = " " + r.File.Name
+		name = " " + r.File.String()
 	}
 	return fmt.Sprintf("%#012x-%#012x %s %s%s", r.Start, r.End, r.Prot, r.Flags, name)
 }

@@ -31,6 +31,18 @@ func (as *AddressSpace) Mmap(addr, length uint64, prot vma.Prot, flags vma.Flags
 	}
 	if file == nil {
 		flags |= vma.Anon
+	} else {
+		// File pages are cached at page granularity, so the mapping's
+		// file offset must be page-aligned (as the system call requires)
+		// and leave the cache's offset space room for the mapping span.
+		if fileOff%PageSize != 0 || fileOff >= maxFileOffset {
+			return 0, ErrInvalid
+		}
+		// First mapping of the file in this family builds its shared
+		// page cache and attaches the handle the fault path reads.
+		if err := as.registerFile(file); err != nil {
+			return 0, err
+		}
 	}
 	if as.rl != nil {
 		return as.mmapRanged(addr, length, prot, flags, file, fileOff)

@@ -63,7 +63,7 @@ type Stats struct {
 	StackGrowths        uint64
 	RetriesMiss         uint64 // slow retries: lookup miss / split race
 	RetriesFillRace     uint64 // slow retries: §5.2 fill race double check
-	RetriesFile         uint64 // slow retries: file-backed hard case (§6)
+	RetriesFile         uint64 // slow retries: file-backed hard case (§6; zero since the page cache made file faults a fast path)
 	RetriesCow          uint64 // slow retries: copy-on-write hard case (§6)
 	Forks               uint64
 	CowBreaks           uint64 // write faults that broke copy-on-write
@@ -71,6 +71,16 @@ type Stats struct {
 	CowCopies           uint64 // COW breaks that copied the page
 	MmapCacheHits       uint64
 	MmapCacheMisses     uint64
+
+	// Page-cache counters, aggregated across every file mapped in the
+	// address space's family (the cache is family-shared; see
+	// internal/pagecache for the full Stats, including drops and
+	// writebacks, via PageCacheStats).
+	PageCacheHits      uint64 // file faults served by a resident page
+	PageCacheMisses    uint64 // file faults that filled the cache
+	PageCacheCoalesced uint64 // faulters that waited out a concurrent fill
+	PageCacheResident  int64  // pages currently cached
+	PageCacheDirty     int64  // pages currently dirty
 }
 
 // Retries returns the total slow-path retries.
@@ -80,7 +90,14 @@ func (s Stats) Retries() uint64 {
 
 // Stats returns a snapshot of the address space's counters.
 func (as *AddressSpace) Stats() Stats {
+	pc := as.PageCacheStats()
 	return Stats{
+		PageCacheHits:      pc.Hits,
+		PageCacheMisses:    pc.Misses,
+		PageCacheCoalesced: pc.Coalesced,
+		PageCacheResident:  pc.Resident,
+		PageCacheDirty:     pc.DirtyPages,
+
 		Faults:              as.stats.faults.Load(),
 		FaultsAlreadyMapped: as.stats.faultsAlreadyMapped.Load(),
 		PagesMapped:         as.stats.pagesMapped.Load(),

@@ -22,6 +22,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -213,13 +214,22 @@ type AddressSpace struct {
 	stats statsCounters
 }
 
-// family is the state shared between an address space and its forks.
+// family is the state shared between an address space and its forks
+// and siblings: one frame pool, one RCU domain, and the registry of
+// files mapped by any member, each with its shared page cache.
 type family struct {
 	alloc   *physmem.Allocator
 	dom     *rcu.Domain
 	live    atomic.Int32 // address spaces not yet closed
 	members atomic.Int32 // member indices handed out (never reused)
 	max     int32
+
+	// filesMu guards the file registry. It is only taken on a file's
+	// first mapping, on stats snapshots, and at teardown — never on the
+	// fault path, which reaches the cache through the handle the file
+	// itself carries.
+	filesMu sync.Mutex
+	files   []*vma.File
 }
 
 // CPU is a per-worker fault context: its RCU reader registration and
@@ -340,6 +350,10 @@ func (as *AddressSpace) Close() error {
 	as.tables.ReleaseRoot(as.mapCPU)
 	last := as.fam.live.Add(-1) == 0
 	if last {
+		// Release the page caches' frame references; the deferred frees
+		// drain in the domain's closing flush, so the leak check below
+		// sees them.
+		as.fam.dropCaches()
 		as.dom.Close()
 		if n := as.alloc.InUse(); n != 0 {
 			return fmt.Errorf("vm: %d frames still allocated after the last family member closed", n)

@@ -310,7 +310,7 @@ func TestStackGrowth(t *testing.T) {
 func TestFileBackedFaultFillsContents(t *testing.T) {
 	forEachDesign(t, Config{CPUs: 1, Backing: true}, func(t *testing.T, as *AddressSpace) {
 		cpu := as.NewCPU(0)
-		f := &vma.File{Name: "data.bin", Seed: 99}
+		f := vma.NewFile("data.bin", 99)
 		base, err := as.Mmap(0, 4*PageSize, vma.ProtRead, vma.Private, f, 2*PageSize)
 		if err != nil {
 			t.Fatal(err)
@@ -325,11 +325,14 @@ func TestFileBackedFaultFillsContents(t *testing.T) {
 				t.Fatalf("file page contents %#x, want %#x", b, want)
 			}
 		}
-		// RCU designs route file faults through the slow path (§6).
-		if as.Design().UsesRCU() {
-			if st := as.Stats(); st.RetriesFile == 0 {
-				t.Fatal("file-backed fault did not use the retry-with-lock path")
-			}
+		// File faults resolve through the page cache in every design —
+		// the RCU designs no longer take the §6 retry-with-lock path.
+		st := as.Stats()
+		if st.RetriesFile != 0 {
+			t.Fatalf("file-backed fault took the retry-with-lock path %d times", st.RetriesFile)
+		}
+		if st.PageCacheMisses != 1 || st.PageCacheResident != 1 {
+			t.Fatalf("page cache fills=%d resident=%d, want 1/1", st.PageCacheMisses, st.PageCacheResident)
 		}
 	})
 }

@@ -11,6 +11,8 @@ package vma
 import (
 	"fmt"
 	"sync/atomic"
+
+	"bonsai/internal/pagecache"
 )
 
 // Prot is a protection bit set.
@@ -80,9 +82,53 @@ func (f Flags) String() string {
 // File is a simulated backing file. Page contents are a deterministic
 // function of (Seed, page offset), which lets tests verify that
 // file-backed faults filled the right data without any real I/O.
+//
+// A File is a registered object: it carries a stable ID (assigned by
+// NewFile) used in String() and stats labels, and — once mapped — a
+// handle to its per-file page cache, through which every address space
+// mapping the file shares one frame per page.
 type File struct {
 	Name string
 	Seed uint64
+	// ID is the file's stable identity, used to label cache and bench
+	// output. NewFile assigns process-unique IDs; zero means unnamed.
+	ID uint64
+
+	cache atomic.Pointer[pagecache.Cache]
+}
+
+// fileIDs hands out stable File IDs, starting at 1 so zero stays the
+// "unregistered literal" sentinel.
+var fileIDs atomic.Uint64
+
+// NewFile returns a File with a process-unique stable ID.
+func NewFile(name string, seed uint64) *File {
+	return &File{Name: name, Seed: seed, ID: fileIDs.Add(1)}
+}
+
+// PageCache returns the file's page cache, or nil if the file has never
+// been mapped.
+func (f *File) PageCache() *pagecache.Cache { return f.cache.Load() }
+
+// AttachCache installs (or, with nil, detaches) the file's page cache.
+// Only the VM layer's file registry calls it, under its registry lock.
+func (f *File) AttachCache(c *pagecache.Cache) { f.cache.Store(c) }
+
+// TryAttachCache installs c only if the file has no cache yet,
+// reporting whether it won. Registries in different families hold
+// different locks, so the first attach must be an atomic
+// compare-and-swap: the loser validates the winner's cache instead of
+// clobbering it.
+func (f *File) TryAttachCache(c *pagecache.Cache) bool {
+	return f.cache.CompareAndSwap(nil, c)
+}
+
+// String labels the file by name and stable ID.
+func (f *File) String() string {
+	if f == nil {
+		return "<anon>"
+	}
+	return fmt.Sprintf("%s#%d", f.Name, f.ID)
 }
 
 // PageByte returns the fill byte for the page at the given file offset.
@@ -209,5 +255,8 @@ func (v *VMA) CanMerge(prot Prot, flags Flags, file *File, fileOff uint64) bool 
 }
 
 func (v *VMA) String() string {
+	if v.file != nil {
+		return fmt.Sprintf("[%#x-%#x %s %s %s]", v.Start(), v.End(), v.prot, v.flags, v.file)
+	}
 	return fmt.Sprintf("[%#x-%#x %s %s]", v.Start(), v.End(), v.prot, v.flags)
 }

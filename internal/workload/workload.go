@@ -24,6 +24,7 @@ type Result struct {
 	Mmaps     uint64
 	Munmaps   uint64
 	Mprotects uint64
+	Madvises  uint64
 	Duration  time.Duration
 }
 
@@ -39,6 +40,9 @@ func (r Result) String() string {
 	s := fmt.Sprintf("faults=%d mmaps=%d munmaps=%d", r.Faults, r.Mmaps, r.Munmaps)
 	if r.Mprotects > 0 {
 		s += fmt.Sprintf(" mprotects=%d", r.Mprotects)
+	}
+	if r.Madvises > 0 {
+		s += fmt.Sprintf(" madvises=%d", r.Madvises)
 	}
 	return s + fmt.Sprintf(" in %v (%.0f faults/s)", r.Duration, r.Rate())
 }
@@ -327,6 +331,102 @@ func RunDisjointArenas(as *vm.AddressSpace, cfg DisjointConfig) (Result, error) 
 	}
 	return Result{Faults: faults.Load(), Mmaps: mmaps.Load(), Munmaps: munmaps.Load(),
 		Mprotects: mprotects.Load(), Duration: time.Since(start)}, nil
+}
+
+// SharedFileConfig shapes the shared-file fault storm: Spaces address
+// spaces — separate "processes" on one simulated machine (siblings, not
+// forks) — each map the same file Shared and, with Workers goroutines
+// per space, repeatedly soft-fault their chunk of its pages and zap
+// them again with madvise(DONTNEED). After the first round every fault
+// is a page-cache hit, so the storm measures exactly the file-fault
+// fast path: in the RCU designs it takes no global lock, while the
+// lock-based designs serialize each space's faults against its own
+// DONTNEED zaps on mmap_sem.
+type SharedFileConfig struct {
+	Spaces     int    // address spaces mapping the file (≤ Config.MaxFamily)
+	Workers    int    // fault goroutines per space (≤ Config.CPUs)
+	ChunkPages int    // pages per worker chunk (default 64)
+	Rounds     int    // fault+zap cycles per worker
+	Seed       uint64 // file seed (for content verification by the caller)
+	WriteEvery int    // write-fault every Nth page (0 = read-only storm)
+}
+
+// RunSharedFile executes the shared-file workload on as's machine,
+// creating Spaces-1 sibling address spaces (and closing them before
+// returning). Worker w in every space storms the same file chunk
+// [w*ChunkPages, (w+1)*ChunkPages), so the spaces genuinely share
+// frames: the same file page is mapped by all of them at once.
+func RunSharedFile(as *vm.AddressSpace, cfg SharedFileConfig) (Result, error) {
+	if cfg.Spaces <= 0 {
+		cfg.Spaces = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.ChunkPages == 0 {
+		cfg.ChunkPages = 64
+	}
+	file := vma.NewFile("shared.dat", cfg.Seed)
+	filePages := uint64(cfg.Workers * cfg.ChunkPages)
+
+	spaces := []*vm.AddressSpace{as}
+	for i := 1; i < cfg.Spaces; i++ {
+		sib, err := as.NewSibling()
+		if err != nil {
+			return Result{}, fmt.Errorf("workload: sibling %d: %w", i, err)
+		}
+		defer sib.Close()
+		spaces = append(spaces, sib)
+	}
+
+	// Map the file into every space before any worker starts: an Mmap
+	// failure must return with no goroutine still faulting, since the
+	// deferred sibling Closes tear the spaces down on the way out.
+	bases := make([]uint64, len(spaces))
+	for si, sp := range spaces {
+		base, err := sp.Mmap(0, filePages*vm.PageSize, vma.ProtRead|vma.ProtWrite, vma.Shared, file, 0)
+		if err != nil {
+			return Result{}, fmt.Errorf("workload: space %d mmap: %w", si, err)
+		}
+		bases[si] = base
+	}
+
+	var faults, madvises atomic.Uint64
+	errCh := make(chan error, cfg.Spaces*cfg.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for si, sp := range spaces {
+		base := bases[si]
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(si int, sp *vm.AddressSpace, base uint64, w int) {
+				defer wg.Done()
+				cpu := sp.NewCPU(w)
+				chunk := base + uint64(w*cfg.ChunkPages)*vm.PageSize
+				for r := 0; r < cfg.Rounds; r++ {
+					for p := 0; p < cfg.ChunkPages; p++ {
+						write := cfg.WriteEvery > 0 && p%cfg.WriteEvery == 0
+						if err := cpu.Fault(chunk+uint64(p)*vm.PageSize, write); err != nil {
+							errCh <- fmt.Errorf("space %d worker %d fault: %w", si, w, err)
+							return
+						}
+						faults.Add(1)
+					}
+					if err := sp.MadviseDontNeed(chunk, uint64(cfg.ChunkPages)*vm.PageSize); err != nil {
+						errCh <- fmt.Errorf("space %d worker %d madvise: %w", si, w, err)
+						return
+					}
+					madvises.Add(1)
+				}
+			}(si, sp, base, w)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return Result{}, err
+	}
+	return Result{Faults: faults.Load(), Madvises: madvises.Load(), Duration: time.Since(start)}, nil
 }
 
 // MicroConfig shapes the §7.3 microbenchmark on the real VM system:

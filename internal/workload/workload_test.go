@@ -211,6 +211,54 @@ func TestDisjointArenasAllDesigns(t *testing.T) {
 	}
 }
 
+func TestSharedFileAllDesigns(t *testing.T) {
+	const (
+		spaces  = 2
+		workers = 2
+		chunk   = 16
+	)
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for _, d := range vm.Designs {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			as, err := vm.New(vm.Config{Design: d, CPUs: workers, MaxFamily: spaces, Backing: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := bounded(t, "shared-file", func() (Result, error) {
+				return RunSharedFile(as, SharedFileConfig{
+					Spaces: spaces, Workers: workers, ChunkPages: chunk,
+					Rounds: rounds, WriteEvery: 4,
+				})
+			})
+			want := uint64(spaces * workers * chunk * rounds)
+			if res.Faults != want {
+				t.Fatalf("faults = %d, want %d", res.Faults, want)
+			}
+			st := as.Stats()
+			filePages := int64(workers * chunk)
+			// One fill per file page, ever — every other fault is a hit
+			// (or coalesced behind a concurrent fill): the spaces share
+			// frames instead of each filling their own.
+			if st.PageCacheResident != filePages || int64(st.PageCacheMisses) != filePages {
+				t.Fatalf("resident=%d fills=%d, want %d each", st.PageCacheResident, st.PageCacheMisses, filePages)
+			}
+			if st.PageCacheHits+st.PageCacheCoalesced == 0 {
+				t.Fatal("storm recorded no cache hits")
+			}
+			if st.PageCacheDirty == 0 {
+				t.Fatal("write faults dirtied no pages")
+			}
+			t.Logf("%s: %v (pagecache hits=%d fills=%d coalesced=%d dirty=%d)",
+				d, res, st.PageCacheHits, st.PageCacheMisses, st.PageCacheCoalesced, st.PageCacheDirty)
+			closeBounded(t, "shared-file", as)
+		})
+	}
+}
+
 func TestResultString(t *testing.T) {
 	r := Result{Faults: 100, Mmaps: 2, Munmaps: 1, Duration: time.Second}
 	if r.Rate() != 100 {
