@@ -460,6 +460,64 @@ func BenchmarkSharedFileFault(b *testing.B) { benchSharedFileFault(b, vm.PureRCU
 // and every DONTNEED zap write-locking it.
 func BenchmarkSharedFileFaultGlobalSem(b *testing.B) { benchSharedFileFault(b, vm.RWLock) }
 
+// ---- Memory-pressure benchmarks (the reclaim subsystem) ----
+
+// Memory-pressure storm shape: 2 spaces × 2 workers sweeping a shared
+// file of 1024 pages against a 512-frame pool — the working set is 2x
+// physical memory, so steady state is continuous clock eviction,
+// writeback, and refault. The shootdown delay puts eviction's unmaps
+// in the long-holder regime, like the other revocation benchmarks.
+const (
+	pressureSpaces    = 2
+	pressureWorkers   = 2
+	pressureFilePages = 1024
+	pressureFrames    = 512
+)
+
+// benchMemoryPressure runs the storm on the given design. One op is
+// one fault (most are refaults of evicted pages). The reported
+// pc-evict/pc-refault/pc-writeback metrics are the reclaim trajectory:
+// how much the clock scan moved, and how much of it was dirty.
+func benchMemoryPressure(b *testing.B, d vm.Design) {
+	as, err := vm.New(vm.Config{
+		Design: d, CPUs: pressureWorkers, Frames: pressureFrames, MaxFamily: pressureSpaces,
+		ShootdownDelay: 20 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	faultsPerRound := pressureSpaces * pressureWorkers * pressureFilePages
+	rounds := b.N/faultsPerRound + 1
+	b.ResetTimer()
+	res, err := workload.RunMemoryPressure(as, workload.MemoryPressureConfig{
+		Spaces: pressureSpaces, Workers: pressureWorkers,
+		FilePages: pressureFilePages, Rounds: rounds, WriteEvery: 8,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Rate(), "faults/s")
+	st := as.Stats()
+	b.ReportMetric(float64(st.PageCacheEvictions), "pc-evict")
+	b.ReportMetric(float64(st.PageCacheRefaults), "pc-refault")
+	b.ReportMetric(float64(st.PageCacheWritebacks), "pc-writeback")
+	b.ReportMetric(float64(st.ReclaimRetries), "pc-direct-retries")
+	if err := as.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMemoryPressure is the reclaim benchmark on PureRCU: faults
+// stay lock-free while the reclaim scan revokes mappings through each
+// page's rmap and the kswapd-style reclaimer holds the watermarks.
+func BenchmarkMemoryPressure(b *testing.B) { benchMemoryPressure(b, vm.PureRCU) }
+
+// BenchmarkMemoryPressureGlobalSem is the baseline: the identical
+// storm on the stock RWLock design, where every fault read-locks
+// mmap_sem while eviction revokes out from under it.
+func BenchmarkMemoryPressureGlobalSem(b *testing.B) { benchMemoryPressure(b, vm.RWLock) }
+
 // ---- RCU reclamation benchmarks (the asynchronous retire path) ----
 
 // rcuDeferWorkers is the goroutine count the acceptance target is

@@ -27,10 +27,13 @@ import (
 // benchmarks whose pending-hw/gp-avg-ns metrics anchor the RCU
 // trajectory, the disjoint-mapping benchmarks whose scaling factor and
 // range-acquires/range-conflicts counters anchor the range-lock
-// trajectory, and the shared-file benchmarks whose faults/s and
+// trajectory, the shared-file benchmarks whose faults/s and
 // pc-hits/pc-fills/pc-coalesced/pc-dirty counters anchor the page-cache
-// trajectory (file-fault scaling vs the global-sem baseline).
-const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem|BenchmarkSharedFileFault|BenchmarkSharedFileFaultGlobalSem)$`
+// trajectory (file-fault scaling vs the global-sem baseline), and the
+// memory-pressure benchmarks whose pc-evict/pc-refault/pc-writeback
+// counters anchor the page-reclaim trajectory (fault throughput with
+// the working set at 2x physical memory).
+const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem|BenchmarkSharedFileFault|BenchmarkSharedFileFaultGlobalSem|BenchmarkMemoryPressure|BenchmarkMemoryPressureGlobalSem)$`
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {

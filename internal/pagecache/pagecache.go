@@ -29,6 +29,19 @@
 // keeps the returned page's frame allocated (refcount held) long enough
 // for the caller to take its own reference and run the deleted-mark
 // double check.
+//
+// Reclaim: every page carries a reverse map — the set of (owner, vaddr)
+// PTEs mapping it, maintained under the page's own rmap mutex by the
+// VM fault and zap paths (per page, not per file, so concurrent
+// installs of different pages never contend) — plus an accessed bit
+// the lock-free lookup paths set. ReclaimScan uses them to run a
+// clock/second-chance eviction pass: revoke each candidate's PTEs
+// through the rmap (no cache mutex held, so the lock order against
+// faulting — PTE lock, then cache/rmap mutex — is never inverted),
+// write dirty pages back to the cache's store, and unlink the page
+// exactly like Drop. Rmap entries are generation-stamped so the scan's
+// deferred bookkeeping can never delete an entry a concurrent refault
+// re-added for the same (owner, vaddr) slot.
 package pagecache
 
 import (
@@ -52,16 +65,56 @@ const (
 	MaxOffset = uint64(1) << (pageShift + levels*entryBits)
 )
 
+// MappingOwner is the address-space side of a reverse mapping: the VM
+// layer implements it so eviction can revoke the PTE at vaddr if it
+// still maps f. EvictPTE runs with no cache mutex held; it takes the
+// owner's PTE lock, compares the installed frame against f, clears the
+// entry on a match (paying the owner's simulated TLB shootdown through
+// the reclaim scan's hook), and owns retiring the cleared mapping's
+// frame reference past a grace period.
+type MappingOwner interface {
+	EvictPTE(vaddr uint64, f physmem.Frame) bool
+}
+
+// mapping is one rmap key: a PTE slot identified by its address space
+// and virtual address.
+type mapping struct {
+	owner MappingOwner
+	vaddr uint64
+}
+
 // Page is one resident file page. Its frame is stable for the Page's
-// lifetime; the deleted mark is set (under the cache mutex) when the
-// page is dropped, and is what lock-free faulters double-check after
-// taking their mapping reference.
+// lifetime; the deleted mark is set (under the page's rmap mutex) when
+// the page is dropped or evicted, and is what lock-free faulters
+// double-check after taking their mapping reference.
 type Page struct {
 	cache   *Cache
 	off     uint64 // page-aligned byte offset in the file
 	frame   physmem.Frame
 	dirty   atomic.Bool
 	deleted atomic.Bool
+
+	// accessed is the clock algorithm's reference bit: set by the
+	// lock-free lookup paths, cleared (one second chance) by the scan.
+	accessed atomic.Bool
+
+	// rmapMu guards rmap, rmapGen, and every deleted *transition* (the
+	// atomic is for lock-free observers). It is per page — the PTE
+	// install fast path takes it, and a per-file lock there would
+	// re-serialize the very faults the lock-free cache exists to keep
+	// disjoint (the kernel keys rmap locking per page for the same
+	// reason). Innermost lock level: taken under PTE locks (fault and
+	// zap paths) and under the cache mutex (Drop and the reclaim scan's
+	// bookkeeping); never the other way around.
+	rmapMu sync.Mutex
+
+	// rmap maps each PTE mapping this page to the generation at which
+	// it was added. The generation lets the reclaim scan delete exactly
+	// the incarnation it revoked: a refault that re-adds the same
+	// (owner, vaddr) slot gets a fresh generation, so the scan's
+	// deferred delete leaves it alone.
+	rmap    map[mapping]uint64
+	rmapGen uint64
 }
 
 // Frame returns the physical frame backing the page.
@@ -85,6 +138,62 @@ func (p *Page) MarkDirty() {
 	if !p.dirty.Swap(true) {
 		p.cache.dirtyPages.Add(1)
 	}
+}
+
+// touch sets the clock reference bit, loading first so the hot fault
+// path usually avoids writing a shared cache line.
+func (p *Page) touch() {
+	if !p.accessed.Load() {
+		p.accessed.Store(true)
+	}
+}
+
+// AddMapping records that owner's PTE at vaddr maps this page. It
+// must be called by the faulting CPU after taking its frame reference
+// and before installing the PTE (both under the leaf PTE lock); the
+// deleted check under the page's rmap mutex subsumes the lock-free
+// lookup's deleted-mark double check. A false return means the page
+// was dropped or evicted after the lookup: the caller must return its
+// frame reference and retry the fault.
+func (p *Page) AddMapping(owner MappingOwner, vaddr uint64) bool {
+	p.rmapMu.Lock()
+	defer p.rmapMu.Unlock()
+	if p.deleted.Load() {
+		return false
+	}
+	if p.rmap == nil {
+		p.rmap = make(map[mapping]uint64, 4)
+	}
+	p.rmapGen++
+	p.rmap[mapping{owner, vaddr}] = p.rmapGen
+	return true
+}
+
+// RemoveMapping drops the rmap entry for (owner, vaddr). The zap paths
+// call it inside the PTE lock that cleared the entry, which orders the
+// removal before any refault can re-add the same slot; it is idempotent
+// against the reclaim scan removing the entry it revoked.
+func (p *Page) RemoveMapping(owner MappingOwner, vaddr uint64) {
+	p.rmapMu.Lock()
+	delete(p.rmap, mapping{owner, vaddr})
+	p.rmapMu.Unlock()
+}
+
+// Mapped returns the number of PTEs currently reverse-mapped (for
+// tests and stats snapshots).
+func (p *Page) Mapped() int {
+	p.rmapMu.Lock()
+	defer p.rmapMu.Unlock()
+	return len(p.rmap)
+}
+
+// markDeletedLocked sets the deleted mark under the rmap mutex, so it
+// is ordered against AddMapping's check. The caller holds the cache
+// mutex (Drop and the reclaim scan's bookkeeping phase).
+func (p *Page) markDeletedLocked() {
+	p.rmapMu.Lock()
+	p.deleted.Store(true)
+	p.rmapMu.Unlock()
 }
 
 // node is one radix level. Level 1 nodes hold pages; higher levels hold
@@ -111,32 +220,90 @@ func (n *node) slot(off uint64) int {
 	return int(off>>(pageShift+uint(n.level-1)*entryBits)) & (fanout - 1)
 }
 
+// Registry maps physical frames back to the resident cache page
+// occupying them, machine-wide (one Registry per frame allocator,
+// shared by every cache on the machine). The VM zap and COW-break
+// paths use it to find the page whose rmap entry a cleared PTE was:
+// they run address-first, after the owning VMA may already be gone.
+// Slots are atomic so the lookup is lock-free; set/clear happen under
+// the owning cache's mutex at fill and drop/evict time. A non-nil
+// lookup is exact: a frame cannot be recycled into a new page while
+// any PTE (which holds a frame reference) still maps it.
+type Registry struct {
+	pages []atomic.Pointer[Page]
+}
+
+// NewRegistry returns a registry for an allocator with the given
+// number of frames (physmem.Allocator.NumFrames).
+func NewRegistry(frames uint64) *Registry {
+	return &Registry{pages: make([]atomic.Pointer[Page], frames+1)}
+}
+
+// Lookup returns the resident page whose frame is f, or nil.
+func (r *Registry) Lookup(f physmem.Frame) *Page {
+	if r == nil || f == physmem.NoFrame || uint64(f) >= uint64(len(r.pages)) {
+		return nil
+	}
+	return r.pages[f].Load()
+}
+
+func (r *Registry) set(f physmem.Frame, pg *Page) {
+	if r != nil {
+		r.pages[f].Store(pg)
+	}
+}
+
+func (r *Registry) clear(f physmem.Frame) {
+	if r != nil {
+		r.pages[f].Store(nil)
+	}
+}
+
 // Cache is the page cache of one file. Lookups are lock-free (callers
-// hold an RCU read section); FindOrCreate's miss path and Drop/Writeback
-// serialize on mu.
+// hold an RCU read section); FindOrCreate's miss path, Drop/Writeback,
+// and the reclaim scan's bookkeeping phases serialize on mu.
 type Cache struct {
 	fileID uint64
 	label  string
 	alloc  *physmem.Allocator
 	dom    *rcu.Domain
+	reg    *Registry
 
-	mu   sync.Mutex // serializes fills, drops, and writeback scans
+	mu   sync.Mutex // serializes fills, drops, writeback, and eviction bookkeeping
 	root *node
 
-	resident   atomic.Int64
-	hits       atomic.Uint64
-	misses     atomic.Uint64 // fills: faults that populated the cache
-	coalesced  atomic.Uint64 // faulters that waited out a concurrent fill
-	dropped    atomic.Uint64
-	dirtyPages atomic.Int64
-	writebacks atomic.Uint64
+	// clockHand is the next byte offset the eviction scan examines
+	// (guarded by mu); the scan wraps around the resident set.
+	clockHand uint64
+
+	// evictedOffs tracks offsets removed by eviction (not Drop) so the
+	// next fill of the same page counts as a refault. Guarded by mu.
+	evictedOffs map[uint64]struct{}
+
+	// store is the simulated backing store: writeback copies dirty page
+	// contents here (when frames carry data), and fills read it back,
+	// so an evicted dirty page round-trips instead of losing stores.
+	// Guarded by mu.
+	store map[uint64]*[physmem.PageSize]byte
+
+	resident    atomic.Int64
+	hits        atomic.Uint64
+	misses      atomic.Uint64 // fills: faults that populated the cache
+	coalesced   atomic.Uint64 // faulters that waited out a concurrent fill
+	dropped     atomic.Uint64
+	dirtyPages  atomic.Int64
+	writebacks  atomic.Uint64
+	evictions   atomic.Uint64
+	evictAborts atomic.Uint64 // candidates that were refaulted mid-scan
+	refaults    atomic.Uint64 // fills of previously evicted pages
 }
 
 // New returns an empty cache for the file with the given stable ID and
 // display label. Frames come from alloc; drops defer their frees
-// through dom.
-func New(fileID uint64, label string, alloc *physmem.Allocator, dom *rcu.Domain) *Cache {
-	return &Cache{fileID: fileID, label: label, alloc: alloc, dom: dom, root: newNode(levels)}
+// through dom. reg, when non-nil, is the machine-wide frame-to-page
+// registry the cache keeps current for the VM layer's zap paths.
+func New(fileID uint64, label string, alloc *physmem.Allocator, dom *rcu.Domain, reg *Registry) *Cache {
+	return &Cache{fileID: fileID, label: label, alloc: alloc, dom: dom, reg: reg, root: newNode(levels)}
 }
 
 // FileID returns the stable ID of the cached file.
@@ -179,6 +346,7 @@ func (c *Cache) Lookup(off uint64) *Page {
 	if pg == nil || pg.Deleted() {
 		return nil
 	}
+	pg.touch()
 	return pg
 }
 
@@ -195,6 +363,7 @@ func (c *Cache) FindOrCreate(cpu int, off uint64, fill func(physmem.Frame)) (*Pa
 	off &^= physmem.PageSize - 1
 	if pg := c.lookup(off); pg != nil && !pg.Deleted() {
 		c.hits.Add(1)
+		pg.touch()
 		return pg, nil
 	}
 	c.mu.Lock()
@@ -202,6 +371,7 @@ func (c *Cache) FindOrCreate(cpu int, off uint64, fill func(physmem.Frame)) (*Pa
 		// A concurrent faulter filled the page while we waited.
 		c.mu.Unlock()
 		c.coalesced.Add(1)
+		pg.touch()
 		return pg, nil
 	}
 	frame, err := c.alloc.Alloc(cpu)
@@ -209,11 +379,24 @@ func (c *Cache) FindOrCreate(cpu int, off uint64, fill func(physmem.Frame)) (*Pa
 		c.mu.Unlock()
 		return nil, err
 	}
-	if fill != nil {
+	// A page that was evicted comes back from the backing store (its
+	// last writeback), not from fill's pristine contents — the round
+	// trip is what makes eviction of dirty pages lossless — and fill
+	// is skipped entirely: the store supersedes it, and both copies
+	// run under the cache mutex every fault miss contends on.
+	if buf := c.store[off]; buf != nil && c.alloc.Backed() {
+		*c.alloc.Data(frame) = *buf
+	} else if fill != nil {
 		fill(frame)
 	}
+	if _, evicted := c.evictedOffs[off]; evicted {
+		delete(c.evictedOffs, off)
+		c.refaults.Add(1)
+	}
 	pg := &Page{cache: c, off: off, frame: frame}
+	pg.accessed.Store(true)
 	c.insertLocked(off, pg)
+	c.reg.set(frame, pg)
 	c.resident.Add(1)
 	c.mu.Unlock()
 	c.misses.Add(1)
@@ -262,15 +445,29 @@ func (c *Cache) Drop(lo, hi uint64) int {
 		if pg.off < lo || pg.off >= hi {
 			return
 		}
-		pg.deleted.Store(true)
+		pg.markDeletedLocked()
 		n.pages[slot].Store(nil)
 		if pg.dirty.Swap(false) {
 			c.dirtyPages.Add(-1)
 		}
 		frame := pg.frame
+		c.reg.clear(frame)
 		c.dom.Defer(func() { c.alloc.FreeRemote(frame) })
 		dropped++
 	})
+	// Truncate semantics extend to the backing store and the refault
+	// tracking: a fill after a Drop is a fresh page, never a resurrected
+	// pre-truncate copy, and never counts as a refault.
+	for off := range c.store {
+		if off >= lo && off < hi {
+			delete(c.store, off)
+		}
+	}
+	for off := range c.evictedOffs {
+		if off >= lo && off < hi {
+			delete(c.evictedOffs, off)
+		}
+	}
 	c.resident.Add(int64(-dropped))
 	c.dropped.Add(uint64(dropped))
 	return dropped
@@ -280,25 +477,246 @@ func (c *Cache) Drop(lo, hi uint64) int {
 // truncate to zero).
 func (c *Cache) DropAll() int { return c.Drop(0, MaxOffset) }
 
-// Writeback clears the dirty mark of every dirty page, invoking wb (if
-// non-nil) with each page's offset and frame — the hook a real backing
-// store would write from. It returns the number of pages written back.
+// Writeback clears the dirty mark of every dirty page that has no
+// live mappings, copying its contents into the cache's backing store
+// (when frames carry data) and invoking wb (if non-nil) with each
+// page's offset and frame — the hook a real device queue would write
+// from. Pages with reverse mappings are skipped: their PTEs may be
+// writable, so cleaning them here would break the writable-implies-
+// dirty invariant eviction's writeback relies on (a store landing
+// after the clean would be discarded by a later eviction). A real
+// kernel write-protects PTEs to clean mapped pages; in this system
+// mapped dirty pages are written back when they are reclaimed — whose
+// scan revokes the PTEs first — or once unmapped. It returns the
+// number of pages written back.
 func (c *Cache) Writeback(wb func(off uint64, frame physmem.Frame)) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	written := 0
 	c.walkLocked(c.root, func(_ *node, _ int, pg *Page) {
-		if !pg.dirty.Swap(false) {
+		if pg.Mapped() > 0 {
 			return
 		}
-		c.dirtyPages.Add(-1)
+		if !c.writebackLocked(pg) {
+			return
+		}
 		if wb != nil {
 			wb(pg.off, pg.frame)
 		}
 		written++
 	})
-	c.writebacks.Add(uint64(written))
 	return written
+}
+
+// writebackLocked cleans one page under the cache mutex, persisting
+// its contents into the store when frames are backed. Reports whether
+// the page was dirty.
+func (c *Cache) writebackLocked(pg *Page) bool {
+	if !pg.dirty.Swap(false) {
+		return false
+	}
+	c.dirtyPages.Add(-1)
+	if c.alloc.Backed() {
+		if c.store == nil {
+			c.store = make(map[uint64]*[physmem.PageSize]byte)
+		}
+		buf := c.store[pg.off]
+		if buf == nil {
+			buf = new([physmem.PageSize]byte)
+			c.store[pg.off] = buf
+		}
+		*buf = *c.alloc.Data(pg.frame)
+	}
+	c.writebacks.Add(1)
+	return true
+}
+
+// unlinkLocked clears the radix slot of off (the page must be resident;
+// the caller holds the cache mutex and has marked it deleted).
+func (c *Cache) unlinkLocked(off uint64) {
+	n := c.root
+	for n.level > 1 {
+		n = n.kids[n.slot(off)].Load()
+		if n == nil {
+			return
+		}
+	}
+	n.pages[n.slot(off)].Store(nil)
+}
+
+// ReclaimScan runs one clock/second-chance eviction pass over the
+// resident set, starting at the clock hand, and tries to evict up to
+// batch pages. The caller must (a) hold the machine's reclaim scan
+// lock — scans never run concurrently with each other — and (b) be
+// inside an RCU read-side critical section of the cache's domain,
+// because revoking mappings walks page tables lock-free. When force is
+// set the accessed bit is ignored (direct reclaim's progress
+// guarantee); otherwise a set bit buys the page one more pass.
+// shootdown, if non-nil, is invoked once per page that had live
+// translations revoked (the TLB-shootdown charge, paid outside every
+// cache lock, as the real rmap unmap pays IPIs outside the LRU lock).
+//
+// The scan runs in three phases so the fault path's lock order (PTE
+// lock, then cache mutex) is never inverted:
+//
+//  1. under the cache mutex: advance the clock hand, pick candidates,
+//     and snapshot each candidate's rmap (keys plus generations);
+//  2. with no cache lock held: revoke each snapshot PTE through
+//     MappingOwner.EvictPTE, which takes only PTE locks;
+//  3. under the cache mutex again: delete exactly the snapshotted rmap
+//     incarnations, then — if no mapping remains; a refault mid-scan
+//     aborts the eviction — write the page back if dirty, mark it
+//     deleted, unlink it, and defer the cache's frame reference past a
+//     grace period, exactly like Drop.
+//
+// It returns the number of pages evicted and of pages written back.
+func (c *Cache) ReclaimScan(batch int, force bool, shootdown func()) (evicted, written int) {
+	type snapEntry struct {
+		m   mapping
+		gen uint64
+	}
+	type candidate struct {
+		pg   *Page
+		maps []snapEntry
+	}
+
+	if batch <= 0 {
+		return 0, 0
+	}
+
+	// Phase 1: candidate selection at the clock hand. The pruned radix
+	// walk starts at the hand's subtree and stops as soon as the batch
+	// is full (wrapping once), so a small eviction batch never pays a
+	// full-cache sweep under the mutex fault fills contend on. A gentle
+	// pass over a fully referenced resident set still visits every page
+	// — that is the clock algorithm clearing its bits.
+	c.mu.Lock()
+	var cands []candidate
+	examine := func(pg *Page) bool {
+		c.clockHand = pg.off + physmem.PageSize
+		if !force && pg.accessed.Swap(false) {
+			return true // referenced since the last pass: second chance
+		}
+		pg.rmapMu.Lock()
+		maps := make([]snapEntry, 0, len(pg.rmap))
+		for m, gen := range pg.rmap {
+			maps = append(maps, snapEntry{m, gen})
+		}
+		pg.rmapMu.Unlock()
+		cands = append(cands, candidate{pg, maps})
+		return len(cands) < batch
+	}
+	hand := c.clockHand
+	if hand >= MaxOffset {
+		hand = 0
+	}
+	if c.walkFromLocked(c.root, hand, examine) && hand > 0 {
+		c.walkFromLocked(c.root, 0, func(pg *Page) bool {
+			if pg.off >= hand {
+				return false // wrapped all the way around
+			}
+			return examine(pg)
+		})
+	}
+	c.mu.Unlock()
+	if len(cands) == 0 {
+		return 0, 0
+	}
+
+	// Phase 2: revoke translations through the rmap. Only PTE locks are
+	// taken; a miss (the slot was zapped, remapped, or COW-broken since
+	// the snapshot) is left for phase 3 to disambiguate by generation.
+	for _, cd := range cands {
+		revoked := false
+		for _, e := range cd.maps {
+			if e.m.owner.EvictPTE(e.m.vaddr, cd.pg.frame) {
+				revoked = true
+			}
+		}
+		if revoked && shootdown != nil {
+			shootdown()
+		}
+	}
+
+	// Phase 3: bookkeeping and the evictions themselves.
+	c.mu.Lock()
+	for _, cd := range cands {
+		pg := cd.pg
+		pg.rmapMu.Lock()
+		for _, e := range cd.maps {
+			// Delete only the incarnation we snapshotted: either we
+			// revoked its PTE, or a concurrent zap did (its own removal
+			// of the same entry is idempotent). A slot re-added by a
+			// refault carries a newer generation and stays.
+			if cur, ok := pg.rmap[e.m]; ok && cur == e.gen {
+				delete(pg.rmap, e.m)
+			}
+		}
+		if pg.deleted.Load() {
+			pg.rmapMu.Unlock()
+			continue // raced with Drop
+		}
+		if len(pg.rmap) != 0 {
+			// Refaulted between the phases: the page is in active use;
+			// keep it (its new PTEs were never revoked).
+			pg.rmapMu.Unlock()
+			c.evictAborts.Add(1)
+			continue
+		}
+		// Deleting under the rmap mutex closes the window against a
+		// faulter's AddMapping: it either landed above (we abort) or
+		// will fail its deleted check (it retries on a fresh page).
+		pg.deleted.Store(true)
+		pg.rmapMu.Unlock()
+		if c.writebackLocked(pg) {
+			written++
+		}
+		c.unlinkLocked(pg.off)
+		c.reg.clear(pg.frame)
+		if c.evictedOffs == nil {
+			c.evictedOffs = make(map[uint64]struct{})
+		}
+		c.evictedOffs[pg.off] = struct{}{}
+		frame := pg.frame
+		c.dom.Defer(func() { c.alloc.FreeRemote(frame) })
+		evicted++
+	}
+	c.resident.Add(int64(-evicted))
+	c.evictions.Add(uint64(evicted))
+	c.mu.Unlock()
+	return evicted, written
+}
+
+// walkFromLocked visits resident pages with offset >= from in
+// ascending order, descending only radix subtrees that can contain
+// them. visit returning false stops the walk; walkFromLocked then
+// returns false. The caller holds the cache mutex.
+func (c *Cache) walkFromLocked(n *node, from uint64, visit func(pg *Page) bool) bool {
+	if n.level == 1 {
+		for i := n.slot(from); i < fanout; i++ {
+			if pg := n.pages[i].Load(); pg != nil {
+				if !visit(pg) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	start := n.slot(from)
+	for i := start; i < fanout; i++ {
+		child := n.kids[i].Load()
+		if child == nil {
+			continue
+		}
+		f := from
+		if i != start {
+			f = 0 // later subtrees are wholly above from
+		}
+		if !c.walkFromLocked(child, f, visit) {
+			return false
+		}
+	}
+	return true
 }
 
 // walkLocked visits every resident page under the cache mutex. Visit
@@ -321,13 +739,16 @@ func (c *Cache) walkLocked(n *node, visit func(n *node, slot int, pg *Page)) {
 
 // Stats is a snapshot of cache counters.
 type Stats struct {
-	Resident   int64  // pages currently cached
-	Hits       uint64 // lock-free lookup hits
-	Misses     uint64 // fills (faults that populated the cache)
-	Coalesced  uint64 // faulters that waited out a concurrent fill of the same page
-	Dropped    uint64 // pages removed by Drop
-	DirtyPages int64  // pages currently dirty
-	Writebacks uint64 // pages cleaned by Writeback
+	Resident    int64  // pages currently cached
+	Hits        uint64 // lock-free lookup hits
+	Misses      uint64 // fills (faults that populated the cache)
+	Coalesced   uint64 // faulters that waited out a concurrent fill of the same page
+	Dropped     uint64 // pages removed by Drop
+	DirtyPages  int64  // pages currently dirty
+	Writebacks  uint64 // pages cleaned by Writeback or pre-eviction writeback
+	Evictions   uint64 // pages reclaimed by ReclaimScan
+	EvictAborts uint64 // eviction candidates refaulted mid-scan
+	Refaults    uint64 // fills of previously evicted pages
 }
 
 // Add accumulates o into s (for aggregating per-file caches).
@@ -339,17 +760,23 @@ func (s *Stats) Add(o Stats) {
 	s.Dropped += o.Dropped
 	s.DirtyPages += o.DirtyPages
 	s.Writebacks += o.Writebacks
+	s.Evictions += o.Evictions
+	s.EvictAborts += o.EvictAborts
+	s.Refaults += o.Refaults
 }
 
 // Stats returns a snapshot of the cache's counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Resident:   c.resident.Load(),
-		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		Coalesced:  c.coalesced.Load(),
-		Dropped:    c.dropped.Load(),
-		DirtyPages: c.dirtyPages.Load(),
-		Writebacks: c.writebacks.Load(),
+		Resident:    c.resident.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Coalesced:   c.coalesced.Load(),
+		Dropped:     c.dropped.Load(),
+		DirtyPages:  c.dirtyPages.Load(),
+		Writebacks:  c.writebacks.Load(),
+		Evictions:   c.evictions.Load(),
+		EvictAborts: c.evictAborts.Load(),
+		Refaults:    c.refaults.Load(),
 	}
 }

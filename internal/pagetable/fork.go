@@ -30,11 +30,16 @@ const (
 // installs makeFrame's PTE. For a present entry it succeeds unless the
 // access is a write and the PTE is read-only copy-on-write; then it
 // stores makeCopy's replacement (breaking COW), or reports
-// FillNeedsUpgrade when makeCopy is nil.
+// FillNeedsUpgrade when makeCopy is nil. onUpgrade, if non-nil, runs
+// inside the critical section of an in-place write-enable (the
+// non-COW upgrade): the VM layer marks shared file pages dirty there,
+// so a writable PTE is never observable before its page's dirty bit —
+// the invariant page reclaim's writeback depends on.
 func (t *Tables) FillOrUpgrade(addr uint64, pt *PageTable, write bool,
 	recheck func() bool,
 	makeFrame func() (uint64, error),
-	makeCopy func(old uint64) (uint64, error)) (FillResult, error) {
+	makeCopy func(old uint64) (uint64, error),
+	onUpgrade func(old uint64)) (FillResult, error) {
 	idx := index(addr, 1)
 	pt.Lock()
 	defer pt.Unlock()
@@ -56,10 +61,13 @@ func (t *Tables) FillOrUpgrade(addr uint64, pt *PageTable, write bool,
 	}
 	if pte&PTECow == 0 {
 		// Present, read-only, not copy-on-write, in a mapping the
-		// caller validated as writable: the page was write-protected by
-		// an mprotect downgrade and the region has since been made
-		// writable again. The frame is exclusively owned (fork marks
-		// every shared private page COW), so upgrade in place.
+		// caller validated as writable: a shared file page installed
+		// read-only (dirty tracking), or a page write-protected by an
+		// mprotect downgrade whose region has since been made writable
+		// again. Upgrade in place, after the caller's bookkeeping.
+		if onUpgrade != nil {
+			onUpgrade(pte)
+		}
 		pt.SetPTE(idx, pte|PTEWritable)
 		return FillUpgraded, nil
 	}
@@ -76,16 +84,36 @@ func (t *Tables) FillOrUpgrade(addr uint64, pt *PageTable, write bool,
 }
 
 // CloneRange copies the present PTEs of [lo, hi) into dst, implementing
-// fork. For each present entry it calls onShare(frame) (the caller
-// takes a frame reference). When cow is true (private mappings), every
+// fork. For each present entry it calls onShare(addr, frame) under the
+// source PTE lock (the caller takes a frame reference). When cow is
+// true (private mappings), every
 // source entry — writable or not — is downgraded in place to read-only
 // copy-on-write under the source PTE lock, so racing faults observe
 // either the old or the new entry, and the child receives the same COW
 // entry; marking even read-only pages COW keeps a later mprotect-to-
 // writable from silently sharing stores between the two spaces. When
 // cow is false (Shared mappings) entries are copied verbatim.
+//
+// Each collected entry is installed into dst under dst's leaf PTE
+// lock, with onInstall (if non-nil) invoked inside that critical
+// section first: the VM layer registers a page-cache frame's reverse
+// mapping there, atomically with the install, so the reclaim scan —
+// which revokes under the same PTE lock — can never observe the rmap
+// entry without its PTE or vice versa. onInstall returning false skips
+// the entry (the page was evicted between the clone and the install;
+// the child will demand-fault it instead, staying coherent with its
+// siblings), and the caller returns the reference it took.
+//
+// If installing into dst fails partway (frame exhaustion allocating a
+// child table), every collected entry not yet installed is handed to
+// onUndo so the caller can return the references onShare took; entries
+// already installed are the caller's to unwind via its normal unmap
+// path. This keeps a failed fork leak-free, which matters now that
+// forks retry after direct reclaim instead of failing outright.
 func (t *Tables) CloneRange(cpu int, dst *Tables, lo, hi uint64, cow bool,
-	onShare func(f physmem.Frame)) error {
+	onShare func(addr uint64, f physmem.Frame),
+	onInstall func(addr uint64, f physmem.Frame) bool,
+	onUndo func(addr uint64, f physmem.Frame)) error {
 	if lo >= hi {
 		return nil
 	}
@@ -122,22 +150,29 @@ func (t *Tables) CloneRange(cpu int, dst *Tables, lo, hi uint64, cow bool,
 				}
 				childPTE = downgraded
 			}
-			onShare(PTEFrame(pte))
 			addr := base + uint64(i)<<PageShift
+			onShare(addr, PTEFrame(pte))
 			pending = append(pending, entry{addr, childPTE})
 		}
 		pt.Unlock()
 	}
 
-	for _, e := range pending {
+	for i, e := range pending {
 		dpt, err := dst.EnsureTable(cpu, e.addr)
 		if err != nil {
+			if onUndo != nil {
+				for _, rest := range pending[i:] {
+					onUndo(rest.addr, PTEFrame(rest.pte))
+				}
+			}
 			return err
 		}
 		dpt.Lock()
-		dpt.SetPTE(index(e.addr, 1), e.pte)
+		if onInstall == nil || onInstall(e.addr, PTEFrame(e.pte)) {
+			dpt.SetPTE(index(e.addr, 1), e.pte)
+			dst.ptesFilled.Add(1)
+		}
 		dpt.Unlock()
-		dst.ptesFilled.Add(1)
 	}
 	return nil
 }

@@ -371,11 +371,14 @@ func (t *Tables) FillPTE(addr uint64, pt *PageTable, recheck func() bool,
 
 // UnmapRange implements the recursive unmap scan of Figure 11 for
 // [lo, hi): it clears every present PTE in the range under the PTE
-// locks (passing each cleared PTE to onPage so the caller can retire
-// the frame), frees page tables and directories that the range fully
-// covers, and clears the directory entries pointing at them under the
-// page-directory lock. All structure frees are RCU-delayed.
-func (t *Tables) UnmapRange(cpu int, lo, hi uint64, onPage func(pte uint64)) {
+// locks (passing each cleared entry's virtual address and PTE to
+// onPage — still inside the PTE lock, so rmap bookkeeping keyed by the
+// address is ordered against a racing refault of the same page — so
+// the caller can retire the frame), frees page tables and directories
+// that the range fully covers, and clears the directory entries
+// pointing at them under the page-directory lock. All structure frees
+// are RCU-delayed.
+func (t *Tables) UnmapRange(cpu int, lo, hi uint64, onPage func(addr, pte uint64)) {
 	checkAddr(lo)
 	if hi != MaxAddress {
 		checkAddr(hi - 1)
@@ -388,7 +391,7 @@ func (t *Tables) UnmapRange(cpu int, lo, hi uint64, onPage func(pte uint64)) {
 
 // unmapDir unmaps [lo, hi) within d's span. lo and hi are absolute
 // addresses already clamped to d's span by the caller.
-func (t *Tables) unmapDir(cpu int, d *directory, lo, hi uint64, onPage func(uint64)) {
+func (t *Tables) unmapDir(cpu int, d *directory, lo, hi uint64, onPage func(addr, pte uint64)) {
 	span := levelSpan(d.level)
 	// Base virtual address of d's span.
 	dirBase := lo &^ (span*uint64(EntriesPerTable) - 1)
@@ -439,8 +442,9 @@ func (t *Tables) unmapDir(cpu int, d *directory, lo, hi uint64, onPage func(uint
 // When detach is true the whole table is being freed, so it is marked
 // dead inside the same critical section; any fault that subsequently
 // acquires this lock will observe its VMA recheck fail (§5.2).
-func (t *Tables) clearPTEs(pt *PageTable, lo, hi uint64, detach bool, onPage func(uint64)) {
+func (t *Tables) clearPTEs(pt *PageTable, lo, hi uint64, detach bool, onPage func(addr, pte uint64)) {
 	first, last := index(lo, 1), index(hi-1, 1)
+	base := lo &^ (TableSpan - 1)
 	pt.Lock()
 	for i := first; i <= last; i++ {
 		pte := pt.PTE(i)
@@ -450,13 +454,42 @@ func (t *Tables) clearPTEs(pt *PageTable, lo, hi uint64, detach bool, onPage fun
 		pt.ptes[i].Store(0)
 		t.ptesCleared.Add(1)
 		if onPage != nil {
-			onPage(pte)
+			onPage(base+uint64(i)<<PageShift, pte)
 		}
 	}
 	if detach {
 		pt.dead.Store(true)
 	}
 	pt.Unlock()
+}
+
+// ClearPTEIfFrame revokes the translation at addr if (and only if) it
+// is present and still maps frame f, reporting whether it did. This is
+// the page-reclaim scan's unmap primitive: eviction walks a page's
+// reverse mappings with no locks held, so by the time it reaches a
+// (space, vaddr) pair the PTE may already have been cleared by munmap
+// or refilled with a different page — the frame comparison under the
+// PTE lock makes the revocation precise. The caller must be inside an
+// RCU read-side critical section (the walk is lock-free) and owns the
+// retirement of the cleared entry's frame reference.
+func (t *Tables) ClearPTEIfFrame(addr uint64, f physmem.Frame) bool {
+	pt := t.WalkTable(addr)
+	if pt == nil {
+		return false
+	}
+	idx := index(addr, 1)
+	pt.Lock()
+	defer pt.Unlock()
+	if pt.Dead() {
+		return false // detached by a concurrent unmap scan
+	}
+	pte := pt.PTE(idx)
+	if pte&PTEPresent == 0 || PTEFrame(pte) != f {
+		return false
+	}
+	pt.ptes[idx].Store(0)
+	t.ptesCleared.Add(1)
+	return true
 }
 
 // Stats is a snapshot of page-table counters.

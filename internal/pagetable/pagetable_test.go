@@ -119,7 +119,7 @@ func TestUnmapRangeFreesEverything(t *testing.T) {
 		t.Fatalf("mapped %d pages, walk sees %d", pages, got)
 	}
 	freedPages := 0
-	tb.UnmapRange(0, base, base+pages*PageSize, func(pte uint64) {
+	tb.UnmapRange(0, base, base+pages*PageSize, func(_, pte uint64) {
 		dom.Defer(func() { alloc.Free(0, PTEFrame(pte)) })
 		freedPages++
 	})
@@ -143,7 +143,7 @@ func TestUnmapPartialTableKeepsTable(t *testing.T) {
 	// Map two pages in the same leaf table; unmap one.
 	fill(t, tb, alloc, 0, 0x1000)
 	fill(t, tb, alloc, 0, 0x2000)
-	tb.UnmapRange(0, 0x1000, 0x2000, func(pte uint64) {
+	tb.UnmapRange(0, 0x1000, 0x2000, func(_, pte uint64) {
 		dom.Defer(func() { alloc.Free(0, PTEFrame(pte)) })
 	})
 	if _, ok := tb.Walk(0x1000); ok {
@@ -167,7 +167,7 @@ func TestUnmapDetachesFullyCoveredTable(t *testing.T) {
 	if before == nil {
 		t.Fatal("table missing after fill")
 	}
-	tb.UnmapRange(0, base, base+TableSpan, func(pte uint64) {
+	tb.UnmapRange(0, base, base+TableSpan, func(_, pte uint64) {
 		dom.Defer(func() { alloc.Free(0, PTEFrame(pte)) })
 	})
 	if !before.Dead() {
@@ -183,7 +183,7 @@ func TestFillIntoDeadTablePanics(t *testing.T) {
 	base := uint64(0x200000)
 	fill(t, tb, alloc, 0, base)
 	pt := tb.WalkTable(base)
-	tb.UnmapRange(0, base, base+TableSpan, func(pte uint64) {
+	tb.UnmapRange(0, base, base+TableSpan, func(_, pte uint64) {
 		dom.Defer(func() { alloc.Free(0, PTEFrame(pte)) })
 	})
 	defer func() {
@@ -201,7 +201,7 @@ func TestNoFrameLeaksAfterFullTeardown(t *testing.T) {
 	for i := uint64(0); i < 500; i++ {
 		fill(t, tb, alloc, 0, 0x100000000+i*0x201000) // scattered: many tables
 	}
-	tb.UnmapRange(0, 0, MaxAddress, func(pte uint64) {
+	tb.UnmapRange(0, 0, MaxAddress, func(_, pte uint64) {
 		dom.Defer(func() { alloc.Free(0, PTEFrame(pte)) })
 	})
 	dom.Barrier()

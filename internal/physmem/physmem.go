@@ -4,11 +4,21 @@
 // "slight non-scalability in the Linux page allocator").
 //
 // The allocator keeps a global free stack protected by a spinlock plus
-// per-CPU magazines so the common path is lock-free, like the kernel's
-// per-CPU page lists. A frame-state bitmap detects double allocation
-// and double free, which turns RCU use-after-free bugs in the VM layer
-// (freeing a frame before a grace period) into hard test failures
-// instead of silent corruption.
+// per-CPU magazines so the common path touches only its own CPU's
+// cache lines, like the kernel's per-CPU page lists. Each magazine has
+// its own spinlock (uncontended in the common path — the kernel made
+// the same move when per-CPU page lists grew remote draining) so that
+// reclaim can steal frames stranded in idle magazines instead of
+// reporting out-of-memory while free frames exist. A frame-state
+// bitmap detects double allocation and double free, which turns RCU
+// use-after-free bugs in the VM layer (freeing a frame before a grace
+// period) into hard test failures instead of silent corruption.
+//
+// Watermarks: Config.LowWater/HighWater define the memory-pressure
+// band the reclaim subsystem (internal/reclaim) operates in. When free
+// frames drop below the low watermark, one token is published on the
+// Pressure channel — the kswapd wake-up — and the signal re-arms once
+// free frames climb back above the high watermark.
 package physmem
 
 import (
@@ -45,6 +55,12 @@ type Config struct {
 	// 4 KiB buffer reachable through Data. Examples and data-integrity
 	// tests enable it; benchmarks leave it off.
 	Backing bool
+	// LowWater and HighWater are the reclaim watermarks in frames.
+	// When free frames (including frames cached in magazines) drop
+	// below LowWater, the allocator publishes one token on Pressure;
+	// the signal re-arms when free frames exceed HighWater. Zero
+	// disables pressure signaling.
+	LowWater, HighWater uint64
 }
 
 // DefaultFrames is the default pool size (1 GiB of 4 KiB frames).
@@ -52,12 +68,14 @@ const DefaultFrames = 1 << 18
 
 type magazine struct {
 	_      [64]byte
+	mu     locks.SpinLock
 	frames []Frame
 	_      [64]byte
 }
 
 // Allocator is a physical frame allocator. Alloc and Free are safe for
-// concurrent use; each CPU id must be used by one goroutine at a time.
+// concurrent use; each CPU id should be used by one goroutine at a
+// time (the per-magazine locks make violations safe, merely slow).
 type Allocator struct {
 	cfg Config
 
@@ -76,10 +94,19 @@ type Allocator struct {
 
 	backing []atomic.Pointer[[PageSize]byte]
 
-	allocs  atomic.Uint64
-	frees   atomic.Uint64
-	refills atomic.Uint64
-	inUse   atomic.Int64
+	// pressure is the kswapd wake-up channel (capacity 1); lowHit is
+	// the latch that keeps sustained pressure from hammering it.
+	pressure chan struct{}
+	lowHit   atomic.Bool
+
+	allocs         atomic.Uint64
+	frees          atomic.Uint64
+	refills        atomic.Uint64
+	drains         atomic.Uint64
+	drained        atomic.Uint64
+	allocFailures  atomic.Uint64
+	pressureEvents atomic.Uint64
+	inUse          atomic.Int64
 }
 
 // New returns an allocator with the given configuration.
@@ -93,12 +120,16 @@ func New(cfg Config) *Allocator {
 	if cfg.MagazineSize <= 0 {
 		cfg.MagazineSize = 64
 	}
+	if cfg.HighWater < cfg.LowWater {
+		cfg.HighWater = cfg.LowWater
+	}
 	a := &Allocator{
-		cfg:   cfg,
-		free:  make([]Frame, 0, cfg.Frames),
-		mags:  make([]magazine, cfg.CPUs),
-		state: make([]atomic.Uint64, (cfg.Frames+1+63)/64),
-		refs:  make([]atomic.Int32, cfg.Frames+1),
+		cfg:      cfg,
+		free:     make([]Frame, 0, cfg.Frames),
+		mags:     make([]magazine, cfg.CPUs),
+		state:    make([]atomic.Uint64, (cfg.Frames+1+63)/64),
+		refs:     make([]atomic.Int32, cfg.Frames+1),
+		pressure: make(chan struct{}, 1),
 	}
 	// Push descending so low frames are allocated first.
 	for f := Frame(cfg.Frames); f >= 1; f-- {
@@ -136,20 +167,29 @@ func (a *Allocator) Allocated(f Frame) bool {
 }
 
 // Alloc allocates a frame using cpu's magazine. If Backing is enabled
-// the frame's buffer is zeroed before return.
+// the frame's buffer is zeroed before return. When both the magazine
+// and the global pool are empty, Alloc steals frames stranded in other
+// CPUs' magazines (DrainMagazines) as a last resort before reporting
+// ErrOutOfMemory, so the error means the pool is genuinely exhausted —
+// the condition the VM layer answers with direct reclaim.
 func (a *Allocator) Alloc(cpu int) (Frame, error) {
 	m := &a.mags[cpu%len(a.mags)]
-	if len(m.frames) == 0 {
-		if err := a.refill(m); err != nil {
+	f, err := a.popMagazine(m)
+	if err != nil {
+		if a.DrainMagazines() == 0 {
+			a.allocFailures.Add(1)
+			return NoFrame, err
+		}
+		if f, err = a.popMagazine(m); err != nil {
+			a.allocFailures.Add(1)
 			return NoFrame, err
 		}
 	}
-	f := m.frames[len(m.frames)-1]
-	m.frames = m.frames[:len(m.frames)-1]
 	a.setAllocated(f)
 	a.refs[f].Store(1)
 	a.allocs.Add(1)
 	a.inUse.Add(1)
+	a.notePressure()
 	if a.backing != nil {
 		buf := a.backing[f].Load()
 		if buf == nil {
@@ -162,7 +202,26 @@ func (a *Allocator) Alloc(cpu int) (Frame, error) {
 	return f, nil
 }
 
-func (a *Allocator) refill(m *magazine) error {
+// popMagazine takes one frame from m, refilling it from the global
+// pool when empty.
+func (a *Allocator) popMagazine(m *magazine) (Frame, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.frames) == 0 {
+		if err := a.refillLocked(m); err != nil {
+			return NoFrame, err
+		}
+	}
+	f := m.frames[len(m.frames)-1]
+	m.frames = m.frames[:len(m.frames)-1]
+	return f, nil
+}
+
+// refillLocked moves frames from the global pool into m. The caller
+// holds m.mu; the lock order is always magazine lock before the global
+// lock (DrainMagazines collects under the magazine locks first and
+// pushes to the global pool afterwards for the same reason).
+func (a *Allocator) refillLocked(m *magazine) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if len(a.free) == 0 {
@@ -179,6 +238,33 @@ func (a *Allocator) refill(m *magazine) error {
 	a.free = a.free[:len(a.free)-n]
 	a.refills.Add(1)
 	return nil
+}
+
+// DrainMagazines steals every frame cached in the per-CPU magazines
+// back into the global pool and returns how many were recovered. The
+// reclaim subsystem calls it before evicting pages, and Alloc calls it
+// as a last resort, so frames stranded in an idle CPU's magazine can
+// never cause a spurious ErrOutOfMemory.
+func (a *Allocator) DrainMagazines() int {
+	var stolen []Frame
+	for i := range a.mags {
+		m := &a.mags[i]
+		m.mu.Lock()
+		if len(m.frames) > 0 {
+			stolen = append(stolen, m.frames...)
+			m.frames = m.frames[:0]
+		}
+		m.mu.Unlock()
+	}
+	if len(stolen) == 0 {
+		return 0
+	}
+	a.mu.Lock()
+	a.free = append(a.free, stolen...)
+	a.mu.Unlock()
+	a.drains.Add(1)
+	a.drained.Add(uint64(len(stolen)))
+	return len(stolen)
 }
 
 // Ref takes an additional reference on an allocated frame (fork's
@@ -217,6 +303,7 @@ func (a *Allocator) Free(cpu int, f Frame) {
 	a.frees.Add(1)
 	a.inUse.Add(-1)
 	m := &a.mags[cpu%len(a.mags)]
+	m.mu.Lock()
 	m.frames = append(m.frames, f)
 	if len(m.frames) > a.cfg.MagazineSize {
 		spill := len(m.frames) / 2
@@ -225,6 +312,8 @@ func (a *Allocator) Free(cpu int, f Frame) {
 		a.mu.Unlock()
 		m.frames = m.frames[:len(m.frames)-spill]
 	}
+	m.mu.Unlock()
+	a.rearmPressure()
 }
 
 // FreeRemote drops one reference like Free, but returns a final frame
@@ -248,7 +337,60 @@ func (a *Allocator) FreeRemote(f Frame) {
 	a.mu.Lock()
 	a.free = append(a.free, f)
 	a.mu.Unlock()
+	a.rearmPressure()
 }
+
+// notePressure publishes one wake-up token when free frames fall below
+// the low watermark. The latch keeps sustained pressure from spinning
+// on the channel; rearmPressure resets it once frees lift the level
+// back above the high watermark.
+func (a *Allocator) notePressure() {
+	if a.cfg.LowWater == 0 || a.FreeFrames() >= int64(a.cfg.LowWater) {
+		return
+	}
+	if a.lowHit.CompareAndSwap(false, true) {
+		a.pressureEvents.Add(1)
+		select {
+		case a.pressure <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (a *Allocator) rearmPressure() {
+	if a.cfg.LowWater == 0 || !a.lowHit.Load() {
+		return
+	}
+	// >= matches the reclaimer's stopping condition: it balances until
+	// free frames reach the high watermark, and stopping exactly there
+	// must re-arm the latch or the next low-watermark crossing would
+	// publish no token.
+	if a.FreeFrames() >= int64(a.cfg.HighWater) {
+		a.lowHit.Store(false)
+	}
+}
+
+// Pressure returns the low-watermark wake-up channel: one token is
+// published each time free frames sink below the low watermark (after
+// having recovered above the high one). The background reclaimer
+// blocks on it.
+func (a *Allocator) Pressure() <-chan struct{} { return a.pressure }
+
+// FreeFrames returns the number of unallocated frames, counting frames
+// cached in per-CPU magazines (DrainMagazines can always recover those).
+func (a *Allocator) FreeFrames() int64 { return int64(a.cfg.Frames) - a.inUse.Load() }
+
+// NumFrames returns the configured pool size in frames.
+func (a *Allocator) NumFrames() uint64 { return a.cfg.Frames }
+
+// LowWater returns the configured low watermark in frames (0 = none).
+func (a *Allocator) LowWater() uint64 { return a.cfg.LowWater }
+
+// HighWater returns the configured high watermark in frames.
+func (a *Allocator) HighWater() uint64 { return a.cfg.HighWater }
+
+// Backed reports whether frames carry real data buffers.
+func (a *Allocator) Backed() bool { return a.backing != nil }
 
 // Data returns the backing buffer of an allocated frame. It panics if
 // Backing was not enabled.
@@ -264,18 +406,28 @@ func (a *Allocator) InUse() int64 { return a.inUse.Load() }
 
 // Stats is a snapshot of allocator counters.
 type Stats struct {
-	Allocs  uint64
-	Frees   uint64
-	Refills uint64 // global-pool refills (the contended path)
-	InUse   int64
+	Allocs         uint64
+	Frees          uint64
+	Refills        uint64 // global-pool refills (the contended path)
+	Drains         uint64 // DrainMagazines calls that recovered frames
+	Drained        uint64 // frames recovered from magazines
+	AllocFailures  uint64 // Allocs that returned ErrOutOfMemory
+	PressureEvents uint64 // low-watermark crossings signaled
+	InUse          int64
+	Free           int64 // unallocated frames (global pool + magazines)
 }
 
 // Stats returns a snapshot of the allocator's counters.
 func (a *Allocator) Stats() Stats {
 	return Stats{
-		Allocs:  a.allocs.Load(),
-		Frees:   a.frees.Load(),
-		Refills: a.refills.Load(),
-		InUse:   a.inUse.Load(),
+		Allocs:         a.allocs.Load(),
+		Frees:          a.frees.Load(),
+		Refills:        a.refills.Load(),
+		Drains:         a.drains.Load(),
+		Drained:        a.drained.Load(),
+		AllocFailures:  a.allocFailures.Load(),
+		PressureEvents: a.pressureEvents.Load(),
+		InUse:          a.inUse.Load(),
+		Free:           a.FreeFrames(),
 	}
 }

@@ -111,6 +111,78 @@ func TestBackingZeroedOnAlloc(t *testing.T) {
 	t.Skip("frame not recycled within pool size")
 }
 
+// TestDrainMagazines checks the stranded-frame steal path: frames
+// cached in one CPU's magazine must be allocatable from another CPU
+// instead of producing a spurious ErrOutOfMemory.
+func TestDrainMagazines(t *testing.T) {
+	a := New(Config{Frames: 8, CPUs: 2, MagazineSize: 8})
+	// CPU 0 allocates everything and frees it all back into its own
+	// magazine (8 <= MagazineSize, so nothing spills globally).
+	var frames []Frame
+	for {
+		f, err := a.Alloc(0)
+		if err != nil {
+			break
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) != 8 {
+		t.Fatalf("allocated %d of 8", len(frames))
+	}
+	for _, f := range frames {
+		a.Free(0, f)
+	}
+	// CPU 1's magazine and the global pool are both empty; the alloc
+	// must succeed by draining CPU 0's magazine.
+	if _, err := a.Alloc(1); err != nil {
+		t.Fatalf("cpu 1 alloc with frames stranded in cpu 0's magazine: %v", err)
+	}
+	if st := a.Stats(); st.Drained == 0 {
+		t.Fatalf("no frames recorded as drained: %+v", st)
+	}
+}
+
+// TestPressureSignal checks the watermark latch: one token below the
+// low watermark, re-armed only after recovering above the high one.
+func TestPressureSignal(t *testing.T) {
+	a := New(Config{Frames: 16, CPUs: 1, MagazineSize: 2, LowWater: 8, HighWater: 12})
+	var frames []Frame
+	alloc := func(n int) {
+		for i := 0; i < n; i++ {
+			f, err := a.Alloc(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames = append(frames, f)
+		}
+	}
+	alloc(12) // free = 4 < low
+	select {
+	case <-a.Pressure():
+	default:
+		t.Fatal("no pressure token below the low watermark")
+	}
+	alloc(2) // deeper below low: latched, no second token
+	select {
+	case <-a.Pressure():
+		t.Fatal("pressure signaled twice without recovering")
+	default:
+	}
+	for _, f := range frames {
+		a.Free(0, f)
+	}
+	frames = nil
+	alloc(12) // recovered above high, then back below low: re-armed
+	select {
+	case <-a.Pressure():
+	default:
+		t.Fatal("pressure did not re-arm after recovery above the high watermark")
+	}
+	if st := a.Stats(); st.PressureEvents != 2 {
+		t.Fatalf("PressureEvents = %d, want 2", st.PressureEvents)
+	}
+}
+
 func TestConcurrentPerCPU(t *testing.T) {
 	const cpus = 4
 	a := New(Config{Frames: 4096, CPUs: cpus, MagazineSize: 16})

@@ -1,0 +1,289 @@
+// Package reclaim implements memory-pressure page reclaim for one
+// simulated machine: the layer that turns the frame pool from a hard
+// ceiling into a working set. It combines
+//
+//   - the physmem low/high watermarks as the pressure signal,
+//   - a clock/second-chance eviction scan over the machine's registered
+//     page caches (internal/pagecache), which revokes mappings through
+//     each page's reverse map, writes dirty pages back, and defers the
+//     frame frees past an RCU grace period,
+//   - a kswapd-style background goroutine that wakes on the low
+//     watermark and evicts until free frames exceed the high one, and
+//   - a direct-reclaim entry point the VM fault and fork paths invoke
+//     when an allocation fails outright, so faults never observe
+//     out-of-memory while reclaimable pages exist.
+//
+// Locking: the scan lock serializes eviction scans machine-wide
+// (kswapd or a direct reclaimer — never both). It is only ever
+// acquired with no page-table or cache lock held; under it the scan
+// takes PTE locks (revocation phase) and per-file cache mutexes
+// (bookkeeping phases) in separate, non-overlapping phases, so it
+// slots into the VM lock hierarchy above both without inverting the
+// fault path's PTE-lock-then-cache-mutex order. The scan holds an RCU
+// read-side critical section across the revocation phase (page-table
+// walks are lock-free) and drops it before flushing the domain, so the
+// blocking grace period it pays to make evicted frames allocatable can
+// always complete.
+package reclaim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bonsai/internal/pagecache"
+	"bonsai/internal/physmem"
+	"bonsai/internal/rcu"
+)
+
+// Config tunes a Reclaimer.
+type Config struct {
+	// BatchPages bounds the eviction candidates per scan pass. Zero
+	// means 64.
+	BatchPages int
+	// Interval is the background reclaimer's pacing: while balancing
+	// toward the high watermark it runs one gentle clock pass per
+	// interval (the gap is what lets faulters re-set their pages'
+	// accessed bits between passes — second chance needs wall-clock
+	// distance), and when idle it doubles as a periodic pressure
+	// re-check under the channel wake-up. Zero means 20ms.
+	Interval time.Duration
+	// Shootdown, if non-nil, is charged once per evicted page whose
+	// translations were revoked — the simulated TLB-shootdown cost the
+	// VM layer also pays on its unmap paths.
+	Shootdown func()
+}
+
+// Reclaimer drives page reclaim for one machine (one physmem pool, one
+// RCU domain, any number of page caches).
+type Reclaimer struct {
+	alloc *physmem.Allocator
+	dom   *rcu.Domain
+	cfg   Config
+
+	// scanMu is the reclaim scan lock (see the package comment). rd and
+	// handCache are only touched under it.
+	scanMu    sync.Mutex
+	rd        *rcu.Reader
+	handCache int // round-robin cursor over the cache list
+
+	cachesMu sync.Mutex
+	caches   []*pagecache.Cache
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	kswapdCycles  atomic.Uint64
+	kswapdEvicted atomic.Uint64
+	directRuns    atomic.Uint64
+	directEvicted atomic.Uint64
+	writebacks    atomic.Uint64
+	scanPasses    atomic.Uint64
+}
+
+// New returns a running Reclaimer: its background goroutine is parked
+// on the allocator's pressure channel until the low watermark is
+// crossed (if the allocator has no watermarks, it only ever runs
+// direct reclaim). Close must be called before the domain is closed.
+func New(alloc *physmem.Allocator, dom *rcu.Domain, cfg Config) *Reclaimer {
+	if cfg.BatchPages <= 0 {
+		cfg.BatchPages = 64
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 20 * time.Millisecond
+	}
+	r := &Reclaimer{
+		alloc: alloc,
+		dom:   dom,
+		cfg:   cfg,
+		rd:    dom.Register(),
+		stop:  make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.kswapd()
+	return r
+}
+
+// Register adds a page cache to the eviction scan's rotation. The VM
+// layer calls it when a file's cache is created.
+func (r *Reclaimer) Register(c *pagecache.Cache) {
+	r.cachesMu.Lock()
+	r.caches = append(r.caches, c)
+	r.cachesMu.Unlock()
+}
+
+// Close stops the background reclaimer and waits for any scan in
+// flight. Direct reclaim must no longer be invoked (the VM layer calls
+// Close when the last address space of the machine closes, with no
+// operation in flight).
+func (r *Reclaimer) Close() {
+	close(r.stop)
+	r.wg.Wait()
+	r.scanMu.Lock() // any straggling direct scan has finished
+	r.scanMu.Unlock()
+	r.dom.Unregister(r.rd)
+}
+
+// kswapd is the background reclaimer: woken by the allocator's
+// low-watermark signal (or the periodic re-check), it evicts in
+// batches until free frames exceed the high watermark. Like its
+// namesake it is gentle — it respects the clock's accessed bits, so a
+// fully hot working set stalls it rather than being thrashed; direct
+// reclaim is the path with the progress guarantee.
+func (r *Reclaimer) kswapd() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.Interval)
+	defer tick.Stop()
+	// balancing is set by a low-watermark crossing and cleared once
+	// free frames reach the high watermark (or a pass evicts nothing).
+	// While set, each tick runs exactly one gentle clock pass: the
+	// full interval between passes is what gives every page its
+	// second chance — running passes back to back would clear the
+	// accessed bits and immediately evict on the next pass, turning
+	// clock into round-robin eviction of the hot set. Drained magazine
+	// frames are never progress here: draining cannot raise FreeFrames
+	// (those frames were already free, just stranded).
+	balancing := false
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.alloc.Pressure():
+			balancing = true
+		case <-tick.C:
+			if !balancing {
+				if r.alloc.LowWater() == 0 || r.alloc.FreeFrames() >= int64(r.alloc.LowWater()) {
+					continue
+				}
+				balancing = true
+			}
+		}
+		if r.alloc.FreeFrames() >= int64(r.alloc.HighWater()) {
+			balancing = false
+			continue
+		}
+		r.kswapdCycles.Add(1)
+		_, evicted := r.reclaim(r.cfg.BatchPages, false)
+		r.kswapdEvicted.Add(uint64(evicted))
+		if evicted == 0 {
+			balancing = false // nothing evictable; wait for the next low crossing
+		}
+	}
+}
+
+// DirectReclaim reclaims on behalf of a failed allocation and reports
+// whether it made progress (the caller should retry the allocation).
+// Unlike kswapd it ends with a forced pass that ignores accessed bits,
+// so it fails only when genuinely nothing is evictable — every cache
+// page is gone or pinned by a mid-scan refault.
+func (r *Reclaimer) DirectReclaim() bool {
+	r.directRuns.Add(1)
+	// A failed allocation needs a handful of frames, not a purge:
+	// over-evicting here just converts other spaces' resident sets into
+	// refaults (the clock hand already spreads successive scans).
+	target := r.cfg.BatchPages
+	if target > 32 {
+		target = 32
+	}
+	drained, evicted := r.reclaim(target, true)
+	r.directEvicted.Add(uint64(evicted))
+	if drained+evicted > 0 {
+		return true
+	}
+	// Concurrent reclaimers serialize on the scan lock: by the time our
+	// scan ran, the winner ahead of us may have evicted everything
+	// evictable and already refilled the pool. Free frames now are
+	// progress — the caller's retry will allocate them.
+	if r.alloc.FreeFrames() > 0 {
+		return true
+	}
+	// A concurrent scan's evicted frames may still be sitting in the
+	// RCU queue: a scan releases the scan lock before its blocking
+	// grace period, so our scan can find an empty cache while the
+	// frames it needs are seconds from the free list. Wait out the
+	// grace period and re-check before declaring defeat.
+	r.dom.Flush()
+	return r.alloc.FreeFrames() > 0
+}
+
+// reclaim runs eviction passes under the scan lock until something is
+// freed (or the passes are exhausted) and returns the magazine frames
+// drained and the pages evicted, separately — both are progress, but
+// only evictions are reclaim work. Draining counts because frames
+// stranded in per-CPU magazines are free, just unreachable from an
+// empty global pool.
+func (r *Reclaimer) reclaim(target int, force bool) (drained, evictedN int) {
+	r.scanMu.Lock()
+	freed := r.alloc.DrainMagazines()
+	evicted, written := 0, 0
+
+	r.cachesMu.Lock()
+	caches := make([]*pagecache.Cache, len(r.caches))
+	copy(caches, r.caches)
+	r.cachesMu.Unlock()
+
+	if len(caches) > 0 {
+		shootdown := r.cfg.Shootdown
+		r.rd.Lock()
+		// One gentle clock pass per call: a pass over a fully hot set
+		// only clears accessed bits, and the bits must survive until
+		// the *next* call (kswapd's next wake) so pages re-touched in
+		// between keep their second chance — two back-to-back passes
+		// would degenerate clock into round-robin eviction of hot
+		// pages. A forced final pass gives direct reclaim its progress
+		// guarantee when even the second chances are exhausted.
+		evicted, written = r.scanOnce(caches, target, false, shootdown)
+		if evicted == 0 && force {
+			evicted, written = r.scanOnce(caches, target, true, shootdown)
+		}
+		r.rd.Unlock()
+	}
+	r.scanMu.Unlock()
+
+	if evicted > 0 {
+		r.writebacks.Add(uint64(written))
+		// The evictions' frame frees are deferred past a grace period;
+		// flush so the caller's retry can actually allocate them. The
+		// scan lock and read section are released: a reclaimer never
+		// blocks a grace period on itself, and a parked kswapd never
+		// holds the lock against a direct reclaimer.
+		r.dom.Flush()
+	}
+	return freed, evicted
+}
+
+// scanOnce runs one clock pass across the caches, round-robin from the
+// rotation cursor so one hot file cannot shadow the others.
+func (r *Reclaimer) scanOnce(caches []*pagecache.Cache, target int, force bool, shootdown func()) (evicted, written int) {
+	r.scanPasses.Add(1)
+	for i := 0; i < len(caches) && evicted < target; i++ {
+		c := caches[(r.handCache+i)%len(caches)]
+		ev, wr := c.ReclaimScan(target-evicted, force, shootdown)
+		evicted += ev
+		written += wr
+	}
+	r.handCache++
+	return evicted, written
+}
+
+// Stats is a snapshot of reclaim activity.
+type Stats struct {
+	KswapdCycles  uint64 // background wake-ups that found pressure
+	KswapdEvicted uint64 // pages evicted by the background reclaimer
+	DirectRuns    uint64 // direct-reclaim invocations (failed allocations)
+	DirectEvicted uint64 // pages evicted by direct reclaim
+	Writebacks    uint64 // dirty pages written back before eviction
+	ScanPasses    uint64 // clock passes over the cache rotation
+}
+
+// Stats returns a snapshot of the reclaimer's counters.
+func (r *Reclaimer) Stats() Stats {
+	return Stats{
+		KswapdCycles:  r.kswapdCycles.Load(),
+		KswapdEvicted: r.kswapdEvicted.Load(),
+		DirectRuns:    r.directRuns.Load(),
+		DirectEvicted: r.directEvicted.Load(),
+		Writebacks:    r.writebacks.Load(),
+		ScanPasses:    r.scanPasses.Load(),
+	}
+}

@@ -70,21 +70,24 @@ func (l *List[V]) randomLevel() int {
 }
 
 // Lookup reports the value stored at key. It is lock-free: each next
-// pointer is read at most once per step and nothing is written.
+// pointer is read at most once per step and nothing is written. The
+// level-0 scan's own break value decides the answer — re-loading
+// n.next[0] afterwards would race a concurrent insert of a smaller key
+// into that window and misreport a present key as absent.
 func (l *List[V]) Lookup(key uint64) (V, bool) {
 	n := l.head
+	var nxt *node[V]
 	for lvl := MaxLevel - 1; lvl >= 0; lvl-- {
 		for {
-			nxt := n.next[lvl].Load()
+			nxt = n.next[lvl].Load()
 			if nxt == nil || nxt.key >= key {
 				break
 			}
 			n = nxt
 		}
 	}
-	n = n.next[0].Load()
-	if n != nil && n.key == key {
-		return n.val, true
+	if nxt != nil && nxt.key == key {
+		return nxt.val, true
 	}
 	var zero V
 	return zero, false

@@ -1,6 +1,11 @@
 package vm
 
 import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
 	"bonsai/internal/pagecache"
 	"bonsai/internal/pagetable"
 	"bonsai/internal/physmem"
@@ -11,6 +16,13 @@ import (
 // type), installing a page-table entry so the access can proceed. It
 // returns ErrSegv if no mapping covers addr and ErrAccess on a
 // protection violation.
+//
+// A fault that loses a race with frame-pool exhaustion does not fail:
+// the attempt unwinds completely (typed as ErrFrameShortage, with
+// every lock released and nothing half-installed), direct reclaim
+// evicts page-cache pages, and the fault retries. ErrNoMemory escapes
+// only when reclaim reports nothing left to evict — no clean or
+// write-backable cache page anywhere on the machine.
 //
 // The synchronization followed depends on the design:
 //
@@ -25,7 +37,49 @@ func (c *CPU) Fault(addr uint64, write bool) error {
 	}
 	page := pageDown(addr)
 	as.stats.faults.Add(1)
+	for {
+		err := c.fault(page, write)
+		if !errors.Is(err, ErrFrameShortage) {
+			return err
+		}
+		as.stats.reclaimRetries.Add(1)
+		if !as.reclaimForShortage() {
+			return fmt.Errorf("%w: frame pool exhausted and nothing evictable", ErrNoMemory)
+		}
+	}
+}
 
+// oomRetries bounds consecutive no-progress direct-reclaim attempts
+// before an operation reports ErrNoMemory.
+const oomRetries = 16
+
+// reclaimForShortage answers a frame-allocation failure with direct
+// reclaim, absorbing transient no-progress verdicts: under thrash,
+// competing faulters can consume every frame a reclaim pass freed
+// before this caller retries, and a concurrent scan's evictions may
+// still be crossing their grace period. A single failed scan therefore
+// proves nothing; only several consecutive empty-handed scans — with
+// yields in between so grace periods and competing reclaimers can move
+// — mean the machine is genuinely out of reclaimable memory. With no
+// page caches at all (purely anonymous workloads) every attempt is a
+// cheap empty scan, so true OOM still reports quickly.
+func (as *AddressSpace) reclaimForShortage() bool {
+	for attempt := 0; attempt < oomRetries; attempt++ {
+		if as.fam.rec.DirectReclaim() {
+			return true
+		}
+		if attempt < 4 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Duration(attempt) * 50 * time.Microsecond)
+		}
+	}
+	return false
+}
+
+// fault is one fault attempt under the design's synchronization.
+func (c *CPU) fault(page uint64, write bool) error {
+	as := c.as
 	switch as.cfg.Design {
 	case RWLock:
 		as.mmapSem.RLock()
@@ -282,11 +336,29 @@ func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool,
 	as := c.as
 	pt, err := as.tables.EnsureTable(c.id, page)
 	if err != nil {
-		return ErrNoMemory
+		return oomError(err)
 	}
-	makeCopy := func(old uint64) (uint64, error) { return c.cowBreak(old) }
+	makeCopy := func(old uint64) (uint64, error) { return c.cowBreak(page, old) }
 	if !locked {
 		makeCopy = nil
+	}
+	// A write upgrade on a shared file page is not a COW break — it is
+	// the dirty-tracking transition (shared file pages install
+	// read-only on read faults so the first store is observable; see
+	// makeFilePTE). The dirty mark must land inside the PTE-lock
+	// critical section that makes the PTE writable: once any CPU can
+	// observe a writable PTE and store through it, eviction's writeback
+	// must already consider the page dirty.
+	var onUpgrade func(old uint64)
+	sharedFile := v.File() != nil && v.Flags()&vma.Shared != 0
+	if sharedFile {
+		if pc := v.File().PageCache(); pc != nil {
+			onUpgrade = func(old uint64) {
+				if pg := pc.Lookup(v.FileOffset(page)); pg != nil && pg.Frame() == pagetable.PTEFrame(old) {
+					pg.MarkDirty()
+				}
+			}
+		}
 	}
 	res, err := as.tables.FillOrUpgrade(page, pt, write, recheck, func() (uint64, error) {
 		if f := v.File(); f != nil {
@@ -299,9 +371,9 @@ func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool,
 			return 0, err
 		}
 		return pagetable.MakePTE(frame, v.Prot()&vma.ProtWrite != 0), nil
-	}, makeCopy)
+	}, makeCopy, onUpgrade)
 	if err != nil {
-		return ErrNoMemory
+		return oomError(err)
 	}
 	switch res {
 	case pagetable.FillRecheckFailed:
@@ -311,17 +383,9 @@ func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool,
 	case pagetable.FillInstalled:
 		as.stats.pagesMapped.Add(1)
 	case pagetable.FillUpgraded:
-		// A write upgrade on a shared file page is not a COW break — it
-		// is the dirty-tracking transition (shared file pages install
-		// read-only on read faults so the first store is observable; see
-		// makeFilePTE). Only non-shared upgrades count toward CowBreaks.
-		if f := v.File(); f != nil && v.Flags()&vma.Shared != 0 {
-			if pc := f.PageCache(); pc != nil {
-				if pg := pc.Lookup(v.FileOffset(page)); pg != nil {
-					pg.MarkDirty()
-				}
-			}
-		} else {
+		// Only non-shared upgrades count toward CowBreaks (the shared
+		// dirty transition was handled under the PTE lock by onUpgrade).
+		if !sharedFile {
 			as.stats.cowBreaks.Add(1)
 		}
 	default:
@@ -351,8 +415,12 @@ func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool,
 // read-side critical section (entered below when the caller holds a
 // lock instead), so a concurrent Drop cannot release the cache's own
 // reference — deferred past a grace period — before the check decides
-// whether this reference was taken in time. A page dropped under us is
-// simply retried; the next FindOrCreate fills a fresh page.
+// whether this reference was taken in time. The double check is
+// AddMapping, which also records the PTE in the page's reverse map
+// (the eviction scan's unmap list) atomically with the deleted check,
+// closing the window where an eviction could miss a just-installed
+// mapping. A page dropped or evicted under us is simply retried; the
+// next FindOrCreate fills a fresh page.
 func (c *CPU) makeFilePTE(v *vma.VMA, pc *pagecache.Cache, page uint64, write, locked bool) (uint64, error) {
 	as := c.as
 	off := v.FileOffset(page)
@@ -391,10 +459,11 @@ func (c *CPU) makeFilePTE(v *vma.VMA, pc *pagecache.Cache, page uint64, write, l
 			return pagetable.MakePTE(frame, true), nil
 		}
 		// Map the cache frame: take the mapping reference, then run the
-		// deleted-mark double check (the §5.2 shape, at the file layer).
+		// deleted-mark double check (the §5.2 shape, at the file layer)
+		// while registering the reverse mapping.
 		as.alloc.Ref(pg.Frame())
-		if pg.Deleted() {
-			as.alloc.FreeRemote(pg.Frame()) // dropped under us; undo and retry
+		if !pg.AddMapping(as, page) {
+			as.alloc.FreeRemote(pg.Frame()) // dropped or evicted under us; undo and retry
 			continue
 		}
 		if shared {

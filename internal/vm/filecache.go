@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 
 	"bonsai/internal/pagecache"
@@ -29,7 +30,7 @@ func (as *AddressSpace) registerFile(f *vma.File) error {
 	fam := as.fam
 	fam.filesMu.Lock()
 	defer fam.filesMu.Unlock()
-	c := pagecache.New(f.ID, f.String(), as.alloc, as.dom)
+	c := pagecache.New(f.ID, f.String(), as.alloc, as.dom, fam.reg)
 	if !f.TryAttachCache(c) {
 		// Lost a first-mapping race. filesMu only excludes mappers in
 		// this family, so the winner may belong to a different machine
@@ -41,6 +42,9 @@ func (as *AddressSpace) registerFile(f *vma.File) error {
 		return nil
 	}
 	fam.files = append(fam.files, f)
+	// The cache joins the machine's eviction rotation: under memory
+	// pressure the reclaim scan may now evict its resident pages.
+	fam.rec.Register(c)
 	return nil
 }
 
@@ -67,8 +71,18 @@ func (fam *family) dropCaches() {
 // caches, so mappings of the same vma.File in both spaces resolve to
 // the same frames. Unlike Fork it copies nothing. The sibling counts
 // against Config.MaxFamily and must be Closed like any address space.
+// Like Fault and Fork, it answers a transient frame shortage (its
+// page-table root allocation) with direct reclaim and a retry.
 func (as *AddressSpace) NewSibling() (*AddressSpace, error) {
-	return newMember(as.cfg, as.fam)
+	for {
+		sib, err := newMember(as.cfg, as.fam)
+		if !errors.Is(err, ErrFrameShortage) {
+			return sib, err
+		}
+		if !as.reclaimForShortage() {
+			return nil, fmt.Errorf("%w: frame pool exhausted and nothing evictable", ErrNoMemory)
+		}
+	}
 }
 
 // PageCacheStats aggregates the page-cache counters across every file

@@ -1,6 +1,10 @@
 package vm
 
 import (
+	"errors"
+	"fmt"
+
+	"bonsai/internal/pagecache"
 	"bonsai/internal/pagetable"
 	"bonsai/internal/physmem"
 	"bonsai/internal/vma"
@@ -22,7 +26,26 @@ import (
 // write mode; parent faults that race with it either land before the
 // COW downgrade (the child sees the faulted page) or retry and fault a
 // private page afterward — both are valid fork outcomes.
+//
+// Like Fault, Fork absorbs transient frame shortages: an attempt that
+// runs out of frames unwinds completely (child torn down, every lock
+// released — reclaim never runs under the whole-space lock), direct
+// reclaim evicts page-cache pages, and the fork retries.
 func (as *AddressSpace) Fork() (*AddressSpace, error) {
+	for {
+		child, err := as.forkOnce()
+		if !errors.Is(err, ErrFrameShortage) {
+			return child, err
+		}
+		if !as.reclaimForShortage() {
+			return nil, fmt.Errorf("%w: frame pool exhausted and nothing evictable", ErrNoMemory)
+		}
+	}
+}
+
+// forkOnce is one fork attempt; a frame shortage surfaces as
+// ErrFrameShortage with the partial child fully unwound.
+func (as *AddressSpace) forkOnce() (*AddressSpace, error) {
 	child, err := newMember(as.cfg, as.fam)
 	if err != nil {
 		return nil, err
@@ -49,32 +72,72 @@ func (as *AddressSpace) Fork() (*AddressSpace, error) {
 		// ones, so a later mprotect-to-writable cannot alias stores);
 		// Shared mappings share pages verbatim.
 		cow := v.Flags()&vma.Shared == 0
+		// clonePages remembers which cloned frames were live cache pages
+		// at clone time (observed under the parent's PTE lock, so exact:
+		// a mapped frame cannot be recycled into a different page). The
+		// install hook below re-validates each against eviction.
+		clonePages := make(map[uint64]*pagecache.Page)
 		cloneErr = as.tables.CloneRange(as.mapCPU, child.tables, lo, hi, cow,
-			func(f physmem.Frame) { as.alloc.Ref(f) })
+			func(addr uint64, f physmem.Frame) {
+				as.alloc.Ref(f)
+				if pg := as.fam.reg.Lookup(f); pg != nil {
+					clonePages[addr] = pg
+				}
+			},
+			func(addr uint64, f physmem.Frame) bool {
+				// Runs under the child's leaf PTE lock, immediately
+				// before the install. A cloned cache page registers the
+				// child's reverse mapping here, atomically with its PTE,
+				// so the eviction scan can never evict the page in the
+				// clone-to-install window and leave the child mapping an
+				// orphaned frame while its siblings refault a fresh one.
+				// If the page was already evicted (AddMapping fails),
+				// skip the install: the child demand-faults the page
+				// through the cache and stays coherent.
+				pg := clonePages[addr]
+				if pg == nil {
+					return true // anonymous or private frame: install verbatim
+				}
+				if !pg.AddMapping(child, addr) {
+					as.alloc.FreeRemote(f)
+					return false
+				}
+				return true
+			},
+			func(addr uint64, f physmem.Frame) {
+				// Undo for entries never installed in the child: return
+				// the reference (no rmap entry exists yet — registration
+				// happens at install time).
+				as.alloc.FreeRemote(f)
+			})
 		return cloneErr == nil
 	})
 	if cloneErr != nil {
-		// Unwind the partially built child.
+		// Unwind the partially built child completely, so a retry after
+		// direct reclaim starts from scratch.
 		cg := child.lockAll()
 		child.munmapLocked(0, MaxAddress)
 		cg.unlock()
 		child.tables.ReleaseRoot(child.mapCPU)
 		as.fam.live.Add(-1)
-		return nil, cloneErr
+		as.fam.releaseMember(child.member)
+		return nil, oomError(cloneErr)
 	}
 	return child, nil
 }
 
-// cowBreak builds the replacement PTE for a copy-on-write page: if this
-// address space holds the only reference, the page is re-owned in place
-// (no copy); otherwise a fresh frame is allocated, the contents copied,
-// and the shared frame's reference dropped after a grace period. It
-// runs under the PTE lock via FillOrUpgrade.
-func (c *CPU) cowBreak(old uint64) (uint64, error) {
+// cowBreak builds the replacement PTE for the copy-on-write page at
+// page: if this address space holds the only reference, the page is
+// re-owned in place (no copy); otherwise a fresh frame is allocated,
+// the contents copied, and the shared frame's reference dropped after
+// a grace period. It runs under the PTE lock via FillOrUpgrade.
+func (c *CPU) cowBreak(page, old uint64) (uint64, error) {
 	as := c.as
 	oldFrame := pagetable.PTEFrame(old)
 	if as.alloc.Refs(oldFrame) == 1 {
-		// Sole owner: make it writable again in place.
+		// Sole owner: make it writable again in place. (A frame still
+		// resident in a page cache always has the cache's own
+		// reference, so re-owning never needs rmap bookkeeping.)
 		as.stats.cowReowned.Add(1)
 		return pagetable.MakePTE(oldFrame, true), nil
 	}
@@ -86,6 +149,12 @@ func (c *CPU) cowBreak(old uint64) (uint64, error) {
 		*as.alloc.Data(newFrame) = *as.alloc.Data(oldFrame)
 	}
 	as.stats.cowCopies.Add(1)
+	// The PTE stops mapping oldFrame; if that was a page-cache frame (a
+	// Private read mapping of a cached page), drop its rmap entry here,
+	// inside the PTE lock, like the zap path does.
+	if pg := as.fam.reg.Lookup(oldFrame); pg != nil {
+		pg.RemoveMapping(as, page)
+	}
 	// The old frame may still be reachable by lock-free readers of this
 	// address space until a grace period passes. Queue the free on this
 	// fault CPU's shard; it runs on the background detector.

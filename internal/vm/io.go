@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"runtime"
 
 	"bonsai/internal/pagetable"
 	"bonsai/internal/vma"
@@ -47,27 +48,46 @@ func (c *CPU) access(addr uint64, buf []byte, write bool) error {
 }
 
 // accessPage transfers within one page, retrying the fault if the page
-// was unmapped between the fault and the copy.
+// was unmapped between the fault and the copy. The copy itself runs
+// under the leaf PTE lock: a hardware store is atomic with the
+// translation's validity, and without that atomicity a store racing
+// page reclaim could land after eviction's writeback snapshot and be
+// silently lost.
+//
+// The retry loop is unbounded, like Fault's reclaim loop: losing the
+// fault-to-copy window to a concurrent zap or eviction any number of
+// times is not an error — if the mapping is truly gone, the re-fault
+// itself returns ErrSegv and terminates the loop. The yield keeps a
+// pathological eviction storm from spinning this CPU.
 func (c *CPU) accessPage(pos uint64, chunk []byte, write bool) error {
 	as := c.as
 	page := pageDown(pos)
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 || !as.walkUsable(page, write) {
+			if attempt > 2 {
+				runtime.Gosched()
+			}
 			if err := c.Fault(pos, write); err != nil {
 				return err
 			}
 		}
 		c.rd.Lock()
-		pte, ok := as.tables.Walk(page)
-		if !ok || (write && pte&pagetable.PTEWritable == 0) {
-			// Unmapped, or a copy-on-write page that must be broken
-			// before a store can land: fault again. A store to a COW
-			// frame without the break would leak into the other
-			// address space sharing it.
+		pt := as.tables.WalkTable(page)
+		if pt == nil {
 			c.rd.Unlock()
-			if attempt > 8 {
-				return ErrSegv // repeatedly racing with munmap
-			}
+			continue
+		}
+		pt.Lock()
+		idx := int(page>>pagetable.PageShift) & (pagetable.EntriesPerTable - 1)
+		pte := pt.PTE(idx)
+		if pte&pagetable.PTEPresent == 0 || (write && pte&pagetable.PTEWritable == 0) {
+			// Unmapped (munmap, DONTNEED, or eviction got here first),
+			// or a copy-on-write page that must be broken before a
+			// store can land: fault again. A store to a COW frame
+			// without the break would leak into the other address
+			// space sharing it.
+			pt.Unlock()
+			c.rd.Unlock()
 			continue
 		}
 		data := as.alloc.Data(pagetable.PTEFrame(pte))
@@ -76,6 +96,7 @@ func (c *CPU) accessPage(pos uint64, chunk []byte, write bool) error {
 		} else {
 			copy(chunk, data[pos-page:])
 		}
+		pt.Unlock()
 		c.rd.Unlock()
 		return nil
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bonsai/internal/pagetable"
+	"bonsai/internal/physmem"
 )
 
 // MadviseDontNeed discards the pages of [addr, addr+length), as
@@ -71,10 +72,17 @@ func (as *AddressSpace) zapRange(lo, hi uint64) {
 		hint = as.mapCPU + int(lo>>21)
 	}
 	zapped := false
-	as.tables.UnmapRange(hint, lo, hi, func(pte uint64) {
+	as.tables.UnmapRange(hint, lo, hi, func(addr, pte uint64) {
 		frame := pagetable.PTEFrame(pte)
 		zapped = true
 		as.stats.pagesUnmapped.Add(1)
+		// A frame resident in a page cache carries an rmap entry for
+		// this PTE; drop it here, inside the PTE lock that cleared the
+		// entry, so the removal is ordered before any refault re-adds
+		// the same (space, vaddr) slot.
+		if pg := as.fam.reg.Lookup(frame); pg != nil {
+			pg.RemoveMapping(as, addr)
+		}
 		as.dom.DeferOn(hint, func() { as.alloc.FreeRemote(frame) })
 	})
 	if zapped {
@@ -83,17 +91,39 @@ func (as *AddressSpace) zapRange(lo, hi uint64) {
 	}
 }
 
+// EvictPTE implements pagecache.MappingOwner: the reclaim scan calls
+// it, rmap entry by rmap entry, to revoke the translation at vaddr if
+// it still maps frame f. The caller is inside an RCU read-side
+// critical section (the page-table walk is lock-free) and holds no
+// cache lock, so the only lock taken here is the leaf PTE lock — the
+// same level a fault's fill takes. A cleared entry's mapping reference
+// is retired past a grace period, exactly like a zap's; the rmap entry
+// itself is deleted by the scan's bookkeeping phase (generation-
+// checked against a concurrent refault).
+func (as *AddressSpace) EvictPTE(vaddr uint64, f physmem.Frame) bool {
+	if !as.tables.ClearPTEIfFrame(vaddr, f) {
+		return false
+	}
+	as.stats.pagesUnmapped.Add(1)
+	as.stats.evictUnmaps.Add(1)
+	as.dom.DeferOn(as.mapCPU, func() { as.alloc.FreeRemote(f) })
+	return true
+}
+
 // simulateShootdown charges the configured TLB-shootdown latency to a
 // translation-revoking operation, inside whatever exclusion the caller
 // holds — which is the point: the global designs serialize this wait
 // on mmap_sem, the range-locked designs overlap it across disjoint
-// operations. The wait is a calibrated wall-clock spin that yields its
-// timeslice (a kernel spinning on IPI acks with interrupts enabled),
-// not time.Sleep: the timer wheel's wake-up latency is orders of
-// magnitude coarser than microsecond-scale IPI costs and would swamp
-// the measurement.
+// operations, and the reclaim scan pays it per evicted page. The wait
+// is a calibrated wall-clock spin that yields its timeslice (a kernel
+// spinning on IPI acks with interrupts enabled), not time.Sleep: the
+// timer wheel's wake-up latency is orders of magnitude coarser than
+// microsecond-scale IPI costs and would swamp the measurement.
 func (as *AddressSpace) simulateShootdown() {
-	d := as.cfg.ShootdownDelay
+	spinShootdown(as.cfg.ShootdownDelay)
+}
+
+func spinShootdown(d time.Duration) {
 	if d <= 0 {
 		return
 	}

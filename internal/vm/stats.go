@@ -5,6 +5,7 @@ import (
 
 	"bonsai/internal/locks"
 	"bonsai/internal/ranges"
+	"bonsai/internal/reclaim"
 )
 
 // statsCounters holds the address space's atomic counters.
@@ -30,6 +31,8 @@ type statsCounters struct {
 	cowCopies           atomic.Uint64
 	cacheHits           atomic.Uint64
 	cacheMisses         atomic.Uint64
+	evictUnmaps         atomic.Uint64
+	reclaimRetries      atomic.Uint64
 }
 
 func (s *statsCounters) retry(r retryReason) {
@@ -72,15 +75,23 @@ type Stats struct {
 	MmapCacheHits       uint64
 	MmapCacheMisses     uint64
 
+	// Reclaim-side counters for this address space.
+	EvictUnmaps    uint64 // PTEs revoked out of this space by the eviction scan
+	ReclaimRetries uint64 // faults that ran direct reclaim and retried
+
 	// Page-cache counters, aggregated across every file mapped in the
 	// address space's family (the cache is family-shared; see
-	// internal/pagecache for the full Stats, including drops and
-	// writebacks, via PageCacheStats).
-	PageCacheHits      uint64 // file faults served by a resident page
-	PageCacheMisses    uint64 // file faults that filled the cache
-	PageCacheCoalesced uint64 // faulters that waited out a concurrent fill
-	PageCacheResident  int64  // pages currently cached
-	PageCacheDirty     int64  // pages currently dirty
+	// internal/pagecache for the full Stats, including drops, via
+	// PageCacheStats).
+	PageCacheHits        uint64 // file faults served by a resident page
+	PageCacheMisses      uint64 // file faults that filled the cache
+	PageCacheCoalesced   uint64 // faulters that waited out a concurrent fill
+	PageCacheResident    int64  // pages currently cached
+	PageCacheDirty       int64  // pages currently dirty
+	PageCacheEvictions   uint64 // pages evicted by the reclaim scan
+	PageCacheEvictAborts uint64 // eviction candidates refaulted mid-scan
+	PageCacheRefaults    uint64 // fills of previously evicted pages
+	PageCacheWritebacks  uint64 // dirty pages cleaned (writeback scans + pre-eviction)
 }
 
 // Retries returns the total slow-path retries.
@@ -92,11 +103,18 @@ func (s Stats) Retries() uint64 {
 func (as *AddressSpace) Stats() Stats {
 	pc := as.PageCacheStats()
 	return Stats{
-		PageCacheHits:      pc.Hits,
-		PageCacheMisses:    pc.Misses,
-		PageCacheCoalesced: pc.Coalesced,
-		PageCacheResident:  pc.Resident,
-		PageCacheDirty:     pc.DirtyPages,
+		PageCacheHits:        pc.Hits,
+		PageCacheMisses:      pc.Misses,
+		PageCacheCoalesced:   pc.Coalesced,
+		PageCacheResident:    pc.Resident,
+		PageCacheDirty:       pc.DirtyPages,
+		PageCacheEvictions:   pc.Evictions,
+		PageCacheEvictAborts: pc.EvictAborts,
+		PageCacheRefaults:    pc.Refaults,
+		PageCacheWritebacks:  pc.Writebacks,
+
+		EvictUnmaps:    as.stats.evictUnmaps.Load(),
+		ReclaimRetries: as.stats.reclaimRetries.Load(),
 
 		Faults:              as.stats.faults.Load(),
 		FaultsAlreadyMapped: as.stats.faultsAlreadyMapped.Load(),
@@ -144,4 +162,11 @@ func (as *AddressSpace) RangeStats() ranges.Stats {
 		return ranges.Stats{}
 	}
 	return as.rl.Stats()
+}
+
+// ReclaimStats exposes the machine-wide reclaim counters (kswapd
+// cycles, direct-reclaim runs, evictions, writebacks). Family-shared,
+// like the frame pool they protect.
+func (as *AddressSpace) ReclaimStats() reclaim.Stats {
+	return as.fam.rec.Stats()
 }

@@ -27,10 +27,12 @@ import (
 	"time"
 
 	"bonsai/internal/locks"
+	"bonsai/internal/pagecache"
 	"bonsai/internal/pagetable"
 	"bonsai/internal/physmem"
 	"bonsai/internal/ranges"
 	"bonsai/internal/rcu"
+	"bonsai/internal/reclaim"
 	"bonsai/internal/vma"
 )
 
@@ -86,7 +88,27 @@ var (
 	ErrNoMemory = errors.New("vm: out of memory")
 	// ErrInvalid is returned for malformed arguments.
 	ErrInvalid = errors.New("vm: invalid argument")
+
+	// ErrFrameShortage is the typed, retryable form of a physical-frame
+	// allocation failure inside a fault or fork. The failing operation
+	// unwinds completely first — no half-installed PTEs, every lock
+	// released — so the caller (Fault's and Fork's retry loops) can run
+	// direct reclaim and try again. It reaches API callers only wrapped
+	// in ErrNoMemory, after reclaim reported nothing left to evict;
+	// errors.Is(err, ErrNoMemory) therefore still identifies every
+	// out-of-memory outcome.
+	ErrFrameShortage = errors.New("vm: transient frame shortage")
 )
+
+// oomError types an allocation failure: frame-pool exhaustion becomes
+// the retryable ErrFrameShortage (the raw physmem error never escapes
+// mid-operation), anything else the terminal ErrNoMemory.
+func oomError(err error) error {
+	if errors.Is(err, physmem.ErrOutOfMemory) {
+		return ErrFrameShortage
+	}
+	return ErrNoMemory
+}
 
 // MmapCacheMode controls the per-address-space mmap cache (§6).
 type MmapCacheMode int
@@ -161,8 +183,18 @@ type Config struct {
 	// kernel pays while holding mmap_sem (this user-space VM has no
 	// TLB, so revocation is otherwise unrealistically cheap). The
 	// disjoint-mapping benchmarks use it to reproduce the paper's
-	// long-holder regime; zero (the default) disables it.
+	// long-holder regime; zero (the default) disables it. Page reclaim
+	// pays the same charge for every page it unmaps.
 	ShootdownDelay time.Duration
+	// LowWater and HighWater are the reclaim watermarks in frames:
+	// below LowWater free frames the background reclaimer wakes and
+	// evicts page-cache pages until free frames exceed HighWater. An
+	// allocation that fails outright always triggers direct reclaim,
+	// watermarks or not. Zero means Frames/16 and Frames/8.
+	LowWater, HighWater uint64
+	// ReclaimBatch bounds the eviction candidates per reclaim scan
+	// pass. Zero means the reclaim package default (64).
+	ReclaimBatch int
 }
 
 // DefaultMaxFamily supports an original address space plus seven
@@ -215,14 +247,30 @@ type AddressSpace struct {
 }
 
 // family is the state shared between an address space and its forks
-// and siblings: one frame pool, one RCU domain, and the registry of
-// files mapped by any member, each with its shared page cache.
+// and siblings: one frame pool, one RCU domain, the registry of files
+// mapped by any member (each with its shared page cache), the
+// machine-wide frame-to-page registry, and the reclaim subsystem.
 type family struct {
-	alloc   *physmem.Allocator
-	dom     *rcu.Domain
-	live    atomic.Int32 // address spaces not yet closed
-	members atomic.Int32 // member indices handed out (never reused)
-	max     int32
+	alloc *physmem.Allocator
+	dom   *rcu.Domain
+	live  atomic.Int32 // address spaces not yet closed
+	max   int32
+
+	// membersMu guards the member-index slots that partition the
+	// allocator's magazines. A slot returns to the free list when its
+	// address space is fully closed (or a fork attempt unwinds), so
+	// retried forks and churning siblings cannot exhaust MaxFamily.
+	membersMu sync.Mutex
+	freeSlots []int
+	nextSlot  int
+
+	// reg maps frames back to resident cache pages, for the zap and
+	// COW-break paths' rmap bookkeeping.
+	reg *pagecache.Registry
+	// rec is the machine's reclaim driver: the kswapd-style background
+	// goroutine plus the direct-reclaim entry the fault/fork retry
+	// loops call on ErrFrameShortage.
+	rec *reclaim.Reclaimer
 
 	// filesMu guards the file registry. It is only taken on a file's
 	// first mapping, on stats snapshots, and at teardown — never on the
@@ -252,24 +300,80 @@ func New(cfg Config) (*AddressSpace, error) {
 	if cfg.MaxFamily <= 0 {
 		cfg.MaxFamily = DefaultMaxFamily
 	}
+	frames := cfg.Frames
+	if frames == 0 {
+		frames = physmem.DefaultFrames
+	}
+	if cfg.LowWater == 0 {
+		cfg.LowWater = frames / 16
+	}
+	if cfg.HighWater <= cfg.LowWater {
+		cfg.HighWater = 2 * cfg.LowWater
+	}
 	fam := &family{max: int32(cfg.MaxFamily)}
 	fam.alloc = physmem.New(physmem.Config{
 		Frames: cfg.Frames,
 		// Each family member gets a private partition of magazines:
 		// its fault CPUs plus one mapping-operation magazine.
-		CPUs:    (cfg.CPUs + 1) * cfg.MaxFamily,
-		Backing: cfg.Backing,
+		CPUs:      (cfg.CPUs + 1) * cfg.MaxFamily,
+		Backing:   cfg.Backing,
+		LowWater:  cfg.LowWater,
+		HighWater: cfg.HighWater,
 	})
 	fam.dom = rcu.NewDomain(rcu.Options{BatchSize: cfg.RCUBatch})
-	return newMember(cfg, fam)
+	fam.reg = pagecache.NewRegistry(fam.alloc.NumFrames())
+	delay := cfg.ShootdownDelay
+	fam.rec = reclaim.New(fam.alloc, fam.dom, reclaim.Config{
+		BatchPages: cfg.ReclaimBatch,
+		Shootdown:  func() { spinShootdown(delay) },
+	})
+	as, err := newMember(cfg, fam)
+	if err != nil {
+		fam.rec.Close()
+		fam.dom.Close()
+		if errors.Is(err, ErrFrameShortage) {
+			// A brand-new machine has no caches to reclaim from: the
+			// pool simply cannot hold the page-table root. Terminal.
+			err = fmt.Errorf("%w: frame pool cannot hold the initial page tables", ErrNoMemory)
+		}
+		return nil, err
+	}
+	return as, nil
+}
+
+// claimMember takes a free member slot, or reports MaxFamily
+// exhaustion (terminal, not a frame shortage: retrying cannot help
+// until a member closes).
+func (fam *family) claimMember() (int, error) {
+	fam.membersMu.Lock()
+	defer fam.membersMu.Unlock()
+	if n := len(fam.freeSlots); n > 0 {
+		m := fam.freeSlots[n-1]
+		fam.freeSlots = fam.freeSlots[:n-1]
+		return m, nil
+	}
+	if fam.nextSlot < int(fam.max) {
+		m := fam.nextSlot
+		fam.nextSlot++
+		return m, nil
+	}
+	return 0, fmt.Errorf("%w: family exceeds MaxFamily=%d live members", ErrNoMemory, fam.max)
+}
+
+// releaseMember returns a slot once its space can no longer touch its
+// magazine partition (fully closed, or an unwound fork attempt).
+func (fam *family) releaseMember(m int) {
+	fam.membersMu.Lock()
+	fam.freeSlots = append(fam.freeSlots, m)
+	fam.membersMu.Unlock()
 }
 
 // newMember builds an address space inside a family (either the
-// original via New or a child via Fork).
+// original via New, a child via Fork, or a sibling process).
 func newMember(cfg Config, fam *family) (*AddressSpace, error) {
-	member := int(fam.members.Add(1)) - 1
-	if member >= int(fam.max) {
-		return nil, fmt.Errorf("%w: family exceeds MaxFamily=%d live or past members", ErrNoMemory, fam.max)
+	member, err := fam.claimMember()
+	if err != nil {
+		return nil, err
 	}
 	fam.live.Add(1)
 	as := &AddressSpace{
@@ -280,13 +384,13 @@ func newMember(cfg Config, fam *family) (*AddressSpace, error) {
 		dom:    fam.dom,
 	}
 	as.mapCPU = as.physCPU(cfg.CPUs)
-	var err error
 	as.tables, err = pagetable.New(as.alloc, as.dom, as.mapCPU, pagetable.Config{
 		SinglePTELock: cfg.SinglePTELock,
 	})
 	if err != nil {
 		fam.live.Add(-1)
-		return nil, err
+		fam.releaseMember(member)
+		return nil, oomError(err)
 	}
 	if cfg.Design.UsesRCU() && cfg.RangeLocks != RangeLocksOff {
 		as.rl = new(ranges.Manager)
@@ -350,9 +454,11 @@ func (as *AddressSpace) Close() error {
 	as.tables.ReleaseRoot(as.mapCPU)
 	last := as.fam.live.Add(-1) == 0
 	if last {
-		// Release the page caches' frame references; the deferred frees
-		// drain in the domain's closing flush, so the leak check below
-		// sees them.
+		// Stop the background reclaimer first (a scan in flight would
+		// race the cache teardown), then release the page caches' frame
+		// references; the deferred frees drain in the domain's closing
+		// flush, so the leak check below sees them.
+		as.fam.rec.Close()
 		as.fam.dropCaches()
 		as.dom.Close()
 		if n := as.alloc.InUse(); n != 0 {
@@ -361,6 +467,7 @@ func (as *AddressSpace) Close() error {
 	} else {
 		as.dom.Flush()
 	}
+	as.fam.releaseMember(as.member)
 	return nil
 }
 

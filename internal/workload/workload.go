@@ -429,6 +429,99 @@ func RunSharedFile(as *vm.AddressSpace, cfg SharedFileConfig) (Result, error) {
 	return Result{Faults: faults.Load(), Madvises: madvises.Load(), Duration: time.Since(start)}, nil
 }
 
+// MemoryPressureConfig shapes the memory-constrained storm — the
+// reclaim subsystem's workload. Spaces sibling address spaces map one
+// Shared file whose working set should be sized around twice the
+// machine's frame pool, and every worker sweeps the whole file,
+// faulting page by page (write-faulting every WriteEvery-th page so
+// eviction has dirty pages to write back). The pool cannot hold the
+// working set, so steady state is continuous reclaim: the clock scan
+// evicts cold pages out from under the other spaces' mappings, dirty
+// pages round-trip through writeback, refaults refill from the store,
+// and a fault that catches the pool empty runs direct reclaim instead
+// of returning out-of-memory.
+type MemoryPressureConfig struct {
+	Spaces     int    // sibling address spaces mapping the file (≤ Config.MaxFamily)
+	Workers    int    // fault goroutines per space (≤ Config.CPUs)
+	FilePages  int    // file working set in pages (default 512)
+	Rounds     int    // full sweeps of the file per worker
+	WriteEvery int    // write-fault every Nth page (0 = read-only storm)
+	Seed       uint64 // file seed
+}
+
+// RunMemoryPressure executes the memory-pressure storm on as's
+// machine, creating Spaces-1 siblings (closed before returning). Each
+// worker starts its sweep at a different rotation of the file so the
+// spaces' clock positions spread out. Every fault must succeed: an
+// out-of-memory fault while the cache holds reclaimable pages is a
+// reclaim bug, and surfaces here as a failed run.
+func RunMemoryPressure(as *vm.AddressSpace, cfg MemoryPressureConfig) (Result, error) {
+	if cfg.Spaces <= 0 {
+		cfg.Spaces = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.FilePages == 0 {
+		cfg.FilePages = 512
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	file := vma.NewFile("pressure.dat", cfg.Seed)
+
+	spaces := []*vm.AddressSpace{as}
+	for i := 1; i < cfg.Spaces; i++ {
+		sib, err := as.NewSibling()
+		if err != nil {
+			return Result{}, fmt.Errorf("workload: sibling %d: %w", i, err)
+		}
+		defer sib.Close()
+		spaces = append(spaces, sib)
+	}
+	bases := make([]uint64, len(spaces))
+	for si, sp := range spaces {
+		base, err := sp.Mmap(0, uint64(cfg.FilePages)*vm.PageSize, vma.ProtRead|vma.ProtWrite, vma.Shared, file, 0)
+		if err != nil {
+			return Result{}, fmt.Errorf("workload: space %d mmap: %w", si, err)
+		}
+		bases[si] = base
+	}
+
+	var faults atomic.Uint64
+	errCh := make(chan error, cfg.Spaces*cfg.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for si, sp := range spaces {
+		base := bases[si]
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(si int, sp *vm.AddressSpace, base uint64, w int) {
+				defer wg.Done()
+				cpu := sp.NewCPU(w)
+				rot := (si*cfg.Workers + w) * cfg.FilePages / (cfg.Spaces * cfg.Workers)
+				for r := 0; r < cfg.Rounds; r++ {
+					for i := 0; i < cfg.FilePages; i++ {
+						p := (rot + i) % cfg.FilePages
+						write := cfg.WriteEvery > 0 && p%cfg.WriteEvery == 0
+						if err := cpu.Fault(base+uint64(p)*vm.PageSize, write); err != nil {
+							errCh <- fmt.Errorf("space %d worker %d fault page %d: %w", si, w, p, err)
+							return
+						}
+						faults.Add(1)
+					}
+				}
+			}(si, sp, base, w)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return Result{}, err
+	}
+	return Result{Faults: faults.Load(), Duration: time.Since(start)}, nil
+}
+
 // MicroConfig shapes the §7.3 microbenchmark on the real VM system:
 // fault workers hammer soft faults on a shared region while one mapper
 // thread spends roughly MmapFraction of its time performing mmap/munmap

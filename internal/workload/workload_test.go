@@ -259,6 +259,65 @@ func TestSharedFileAllDesigns(t *testing.T) {
 	}
 }
 
+// TestMemoryPressureAllDesigns is the acceptance gate for the reclaim
+// subsystem: with the frame pool sized at ~50% of the file working
+// set, the storm must complete in all four designs — faults never
+// return out-of-memory while clean cache pages exist — with pages
+// evicted, written back, and refaulted, and nothing leaked at Close.
+func TestMemoryPressureAllDesigns(t *testing.T) {
+	const (
+		spaces  = 2
+		workers = 2
+	)
+	filePages, rounds := 256, 3
+	if testing.Short() {
+		filePages, rounds = 128, 2
+	}
+	for _, d := range vm.Designs {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			as, err := vm.New(vm.Config{
+				Design: d, CPUs: workers, MaxFamily: spaces, Backing: true,
+				// Half the working set, so steady state is continuous
+				// reclaim (page tables and magazine slack squeeze the
+				// cache's share further).
+				Frames: uint64(filePages) / 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := bounded(t, "memory-pressure", func() (Result, error) {
+				return RunMemoryPressure(as, MemoryPressureConfig{
+					Spaces: spaces, Workers: workers, FilePages: filePages,
+					Rounds: rounds, WriteEvery: 4, Seed: 11,
+				})
+			})
+			want := uint64(spaces * workers * rounds * filePages)
+			if res.Faults != want {
+				t.Fatalf("faults = %d, want %d", res.Faults, want)
+			}
+			st := as.Stats()
+			if st.PageCacheEvictions == 0 {
+				t.Fatalf("no pages evicted with the pool at half the working set: %+v", st)
+			}
+			if st.PageCacheRefaults == 0 {
+				t.Fatal("no refaults recorded")
+			}
+			if st.PageCacheWritebacks == 0 {
+				t.Fatal("no dirty pages written back before eviction")
+			}
+			if int64(st.PageCacheResident) > int64(filePages)/2 {
+				t.Fatalf("resident %d pages exceeds the frame pool %d", st.PageCacheResident, filePages/2)
+			}
+			rst := as.ReclaimStats()
+			t.Logf("%s: %v (evict=%d refault=%d wb=%d aborts=%d retries=%d reclaim=%+v)",
+				d, res, st.PageCacheEvictions, st.PageCacheRefaults, st.PageCacheWritebacks,
+				st.PageCacheEvictAborts, st.ReclaimRetries, rst)
+			closeBounded(t, "memory-pressure", as)
+		})
+	}
+}
+
 func TestResultString(t *testing.T) {
 	r := Result{Faults: 100, Mmaps: 2, Munmaps: 1, Duration: time.Second}
 	if r.Rate() != 100 {
