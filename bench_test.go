@@ -360,7 +360,7 @@ func BenchmarkDisjointMmapGlobalSem(b *testing.B) { benchDisjointMmap(b, vm.Rang
 //
 // The comparison runs in the paper's long-holder regime: each
 // translation-revoking operation pays a simulated TLB-shootdown wait
-// (Config.ShootdownDelay — this user-space VM has no TLB, so without
+// (Config.ShootdownBase — this user-space VM has no TLB, so without
 // it an unmap is unrealistically cheap and the ratio only measures CPU
 // parallelism, which a small CI host caps at its core count). The
 // global baseline serializes those waits on mmap_sem, one whole-arena
@@ -372,7 +372,7 @@ func BenchmarkDisjointMmap(b *testing.B) {
 	run := func(mode vm.RangeLockMode) time.Duration {
 		as, err := vm.New(vm.Config{
 			Design: vm.PureRCU, CPUs: disjointWorkers, Frames: 1 << 20,
-			RangeLocks: mode, ShootdownDelay: 20 * time.Microsecond,
+			RangeLocks: mode, ShootdownBase: 20 * time.Microsecond,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -395,6 +395,69 @@ func BenchmarkDisjointMmap(b *testing.B) {
 	}
 }
 
+// ---- Batched TLB shootdown benchmarks (the internal/tlb gather) ----
+
+// benchMunmapBatch measures unmapping a faulted 1024-page region with
+// the shootdown charge at 1µs per flush (the acceptance regime): one
+// whole-region munmap pays a single gather flush, while the per-page
+// baseline issues 1024 single-page munmaps and pays 1024 flushes —
+// the cost shape of the pre-gather pipeline, where every zap path
+// charged and freed page by page. Only the munmaps are timed; the
+// map+fault refill runs outside the timer.
+func benchMunmapBatch(b *testing.B, perPage bool) {
+	as, err := vm.New(vm.Config{
+		Design: vm.PureRCU, CPUs: 1, Frames: 1 << 20,
+		ShootdownBase: time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu := as.NewCPU(0)
+	const pages = 1024
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		base, err := as.Mmap(0, pages*vm.PageSize, vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p := uint64(0); p < pages; p++ {
+			if err := cpu.Fault(base+p*vm.PageSize, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if perPage {
+			for p := uint64(0); p < pages; p++ {
+				if err := as.Munmap(base+p*vm.PageSize, vm.PageSize); err != nil {
+					b.Fatal(err)
+				}
+			}
+		} else {
+			if err := as.Munmap(base, pages*vm.PageSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	st := as.Stats()
+	b.ReportMetric(float64(st.TLBFlushes), "tlb-flushes")
+	b.ReportMetric(st.PagesPerFlush(), "pages-per-flush")
+	if err := as.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMunmapBatched is the gather pipeline's headline: one
+// 1024-page munmap, one flush (pages-per-flush ≈ 1024; the acceptance
+// floor is ≥ 5x the per-page baseline at a ~1µs shootdown).
+func BenchmarkMunmapBatched(b *testing.B) { benchMunmapBatch(b, false) }
+
+// BenchmarkMunmapBatchedPerPage is the baseline: the same region
+// unmapped one page per call, paying one flush each (pages-per-flush
+// pinned at 1).
+func BenchmarkMunmapBatchedPerPage(b *testing.B) { benchMunmapBatch(b, true) }
+
 // ---- Shared-file fault benchmarks (the page-cache fast path) ----
 
 // Shared-file storm shape: 2 address spaces × 2 workers over one file,
@@ -415,7 +478,7 @@ const (
 // space's mmap_sem.
 //
 // As with BenchmarkDisjointMmap, the storm runs in the long-holder
-// regime (Config.ShootdownDelay): each DONTNEED zap pays a simulated
+// regime (Config.ShootdownBase): each DONTNEED zap pays a simulated
 // TLB-shootdown wait inside its critical section. The global-sem
 // baseline makes its space's faults wait out that shootdown under
 // mmap_sem; the range-locked RCU design keeps faulting — the page-cache
@@ -423,7 +486,7 @@ const (
 func benchSharedFileFault(b *testing.B, d vm.Design) {
 	as, err := vm.New(vm.Config{
 		Design: d, CPUs: sharedFileWorkers, Frames: 1 << 20, MaxFamily: sharedFileSpaces,
-		ShootdownDelay: 20 * time.Microsecond,
+		ShootdownBase: 20 * time.Microsecond,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -481,7 +544,7 @@ const (
 func benchMemoryPressure(b *testing.B, d vm.Design) {
 	as, err := vm.New(vm.Config{
 		Design: d, CPUs: pressureWorkers, Frames: pressureFrames, MaxFamily: pressureSpaces,
-		ShootdownDelay: 20 * time.Microsecond,
+		ShootdownBase: 20 * time.Microsecond,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -503,6 +566,8 @@ func benchMemoryPressure(b *testing.B, d vm.Design) {
 	b.ReportMetric(float64(st.PageCacheRefaults), "pc-refault")
 	b.ReportMetric(float64(st.PageCacheWritebacks), "pc-writeback")
 	b.ReportMetric(float64(st.ReclaimRetries), "pc-direct-retries")
+	b.ReportMetric(float64(st.TLBFlushes), "tlb-flushes")
+	b.ReportMetric(st.PagesPerFlush(), "pages-per-flush")
 	if err := as.Close(); err != nil {
 		b.Fatal(err)
 	}

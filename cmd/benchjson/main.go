@@ -29,11 +29,14 @@ import (
 // range-acquires/range-conflicts counters anchor the range-lock
 // trajectory, the shared-file benchmarks whose faults/s and
 // pc-hits/pc-fills/pc-coalesced/pc-dirty counters anchor the page-cache
-// trajectory (file-fault scaling vs the global-sem baseline), and the
+// trajectory (file-fault scaling vs the global-sem baseline), the
 // memory-pressure benchmarks whose pc-evict/pc-refault/pc-writeback
 // counters anchor the page-reclaim trajectory (fault throughput with
-// the working set at 2x physical memory).
-const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem|BenchmarkSharedFileFault|BenchmarkSharedFileFaultGlobalSem|BenchmarkMemoryPressure|BenchmarkMemoryPressureGlobalSem)$`
+// the working set at 2x physical memory), and the munmap-batching
+// benchmarks whose tlb-flushes/pages-per-flush counters anchor the
+// shootdown-batching trajectory (one gather flush per 1024-page unmap
+// vs the per-page baseline).
+const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem|BenchmarkSharedFileFault|BenchmarkSharedFileFaultGlobalSem|BenchmarkMemoryPressure|BenchmarkMemoryPressureGlobalSem|BenchmarkMunmapBatched|BenchmarkMunmapBatchedPerPage)$`
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {

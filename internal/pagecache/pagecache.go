@@ -18,7 +18,8 @@
 //     reference, taken by the faulting CPU before it installs the PTE
 //     and dropped by the unmap/zap path (munmap, madvise(DONTNEED),
 //     mprotect-replacement zaps, address-space teardown) through the
-//     usual RCU-deferred physmem.FreeRemote.
+//     zap's TLB gather: batched, after the revoking flush and an RCU
+//     grace period.
 //   - Drop removes pages from the cache and releases the cache's own
 //     reference after a grace period, so a concurrent lock-free faulter
 //     that found the page can still safely take its mapping reference
@@ -39,9 +40,12 @@
 // through the rmap (no cache mutex held, so the lock order against
 // faulting — PTE lock, then cache/rmap mutex — is never inverted),
 // write dirty pages back to the cache's store, and unlink the page
-// exactly like Drop. Rmap entries are generation-stamped so the scan's
-// deferred bookkeeping can never delete an entry a concurrent refault
-// re-added for the same (owner, vaddr) slot.
+// exactly like Drop. Revocations feed the caller's TLB gather
+// (internal/tlb): the revoked PTEs' frame references release after the
+// caller flushes the batch — one shootdown charge per scan, not per
+// page. Rmap entries are generation-stamped so the scan's deferred
+// bookkeeping can never delete an entry a concurrent refault re-added
+// for the same (owner, vaddr) slot.
 package pagecache
 
 import (
@@ -51,6 +55,7 @@ import (
 
 	"bonsai/internal/physmem"
 	"bonsai/internal/rcu"
+	"bonsai/internal/tlb"
 )
 
 // Radix geometry: like the page-table tree, 512-way nodes over the file
@@ -69,11 +74,12 @@ const (
 // layer implements it so eviction can revoke the PTE at vaddr if it
 // still maps f. EvictPTE runs with no cache mutex held; it takes the
 // owner's PTE lock, compares the installed frame against f, clears the
-// entry on a match (paying the owner's simulated TLB shootdown through
-// the reclaim scan's hook), and owns retiring the cleared mapping's
+// entry on a match, and records the revoked translation in g — the
+// scan's batch gather, whose flush (paid once per batch by the reclaim
+// driver) charges the shootdown and retires the cleared mapping's
 // frame reference past a grace period.
 type MappingOwner interface {
-	EvictPTE(vaddr uint64, f physmem.Frame) bool
+	EvictPTE(g *tlb.Gather, vaddr uint64, f physmem.Frame) bool
 }
 
 // mapping is one rmap key: a PTE slot identified by its address space
@@ -552,9 +558,11 @@ func (c *Cache) unlinkLocked(off uint64) {
 // because revoking mappings walks page tables lock-free. When force is
 // set the accessed bit is ignored (direct reclaim's progress
 // guarantee); otherwise a set bit buys the page one more pass.
-// shootdown, if non-nil, is invoked once per page that had live
-// translations revoked (the TLB-shootdown charge, paid outside every
-// cache lock, as the real rmap unmap pays IPIs outside the LRU lock).
+// Revoked translations accumulate in g, the reclaim driver's batch
+// gather; the driver flushes it once after the whole batch — one
+// shootdown charge per scan instead of one per page, the way the
+// kernel's try_to_unmap batches its IPIs. g may be nil only if no
+// page can have a reverse mapping (rmap-free unit tests).
 //
 // The scan runs in three phases so the fault path's lock order (PTE
 // lock, then cache mutex) is never inverted:
@@ -570,7 +578,7 @@ func (c *Cache) unlinkLocked(off uint64) {
 //     grace period, exactly like Drop.
 //
 // It returns the number of pages evicted and of pages written back.
-func (c *Cache) ReclaimScan(batch int, force bool, shootdown func()) (evicted, written int) {
+func (c *Cache) ReclaimScan(batch int, force bool, g *tlb.Gather) (evicted, written int) {
 	type snapEntry struct {
 		m   mapping
 		gen uint64
@@ -623,18 +631,13 @@ func (c *Cache) ReclaimScan(batch int, force bool, shootdown func()) (evicted, w
 		return 0, 0
 	}
 
-	// Phase 2: revoke translations through the rmap. Only PTE locks are
-	// taken; a miss (the slot was zapped, remapped, or COW-broken since
-	// the snapshot) is left for phase 3 to disambiguate by generation.
+	// Phase 2: revoke translations through the rmap, feeding the batch
+	// gather. Only PTE locks are taken; a miss (the slot was zapped,
+	// remapped, or COW-broken since the snapshot) is left for phase 3
+	// to disambiguate by generation.
 	for _, cd := range cands {
-		revoked := false
 		for _, e := range cd.maps {
-			if e.m.owner.EvictPTE(e.m.vaddr, cd.pg.frame) {
-				revoked = true
-			}
-		}
-		if revoked && shootdown != nil {
-			shootdown()
+			e.m.owner.EvictPTE(g, e.m.vaddr, cd.pg.frame)
 		}
 	}
 

@@ -7,6 +7,7 @@ import (
 
 	"bonsai/internal/physmem"
 	"bonsai/internal/rcu"
+	"bonsai/internal/tlb"
 )
 
 func newTestCache(t *testing.T, cpus int) (*Cache, *physmem.Allocator, *rcu.Domain) {
@@ -15,6 +16,11 @@ func newTestCache(t *testing.T, cpus int) (*Cache, *physmem.Allocator, *rcu.Doma
 	dom := rcu.NewDomain(rcu.Options{})
 	t.Cleanup(dom.Close)
 	return New(7, "test.dat#7", alloc, dom, NewRegistry(alloc.NumFrames())), alloc, dom
+}
+
+// newTestTLB returns a zero-cost gather domain for reclaim scans.
+func newTestTLB(alloc *physmem.Allocator, dom *rcu.Domain) *tlb.Domain {
+	return tlb.NewDomain(alloc, dom, tlb.CostModel{})
 }
 
 func TestFillLookupHit(t *testing.T) {
@@ -158,23 +164,27 @@ func TestDirtyWriteback(t *testing.T) {
 }
 
 // fakeOwner simulates an address space for rmap tests: a flat
-// vaddr-to-frame "page table". Unlike the real owner it returns the
-// mapping's frame reference synchronously (no concurrent lock-free
-// readers exist in these tests).
+// vaddr-to-frame "page table". Revocations feed the scan's gather like
+// the real owner's; with a nil gather (rmap-free scans never invoke
+// EvictPTE, but belt and braces) the reference drops synchronously.
 type fakeOwner struct {
 	alloc *physmem.Allocator
 	mu    sync.Mutex
 	ptes  map[uint64]physmem.Frame
 }
 
-func (o *fakeOwner) EvictPTE(vaddr uint64, f physmem.Frame) bool {
+func (o *fakeOwner) EvictPTE(g *tlb.Gather, vaddr uint64, f physmem.Frame) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.ptes[vaddr] != f {
 		return false
 	}
 	delete(o.ptes, vaddr)
-	o.alloc.FreeRemote(f)
+	if g != nil {
+		g.Page(vaddr, f)
+	} else {
+		o.alloc.FreeRemote(f)
+	}
 	return true
 }
 
@@ -250,10 +260,17 @@ func TestReclaimUnmapsViaRmap(t *testing.T) {
 	if refs := alloc.Refs(pg.Frame()); refs != 3 {
 		t.Fatalf("frame refs = %d, want 3 (cache + 2 PTEs)", refs)
 	}
-	shootdowns := 0
-	ev, _ := c.ReclaimScan(1, true, func() { shootdowns++ })
-	if ev != 1 || shootdowns != 1 {
-		t.Fatalf("evicted=%d shootdowns=%d", ev, shootdowns)
+	tl := newTestTLB(alloc, dom)
+	g := tl.Gather(0)
+	ev, _ := c.ReclaimScan(1, true, g)
+	g.Flush()
+	if ev != 1 {
+		t.Fatalf("evicted=%d, want 1", ev)
+	}
+	// Both PTEs were revoked through one batch: a single flush covered
+	// two pages, where the per-page pipeline paid one shootdown each.
+	if st := tl.Stats(); st.Flushes != 1 || st.PagesFlushed != 2 {
+		t.Fatalf("tlb stats %+v, want 1 flush covering 2 pages", st)
 	}
 	if len(a.ptes) != 0 || len(b.ptes) != 0 {
 		t.Fatal("eviction left PTEs installed")
@@ -318,8 +335,8 @@ type evictingOwner struct {
 	readded bool
 }
 
-func (o *evictingOwner) EvictPTE(vaddr uint64, f physmem.Frame) bool {
-	ok := o.fakeOwner.EvictPTE(vaddr, f)
+func (o *evictingOwner) EvictPTE(g *tlb.Gather, vaddr uint64, f physmem.Frame) bool {
+	ok := o.fakeOwner.EvictPTE(g, vaddr, f)
 	if ok && !o.readded {
 		o.readded = true
 		// The "refault": reference, AddMapping, reinstall — on a page
@@ -343,7 +360,10 @@ func TestEvictAbortOnRefault(t *testing.T) {
 	c, alloc, dom := newTestCache(t, 1)
 	o := &evictingOwner{fakeOwner: fakeOwner{alloc: alloc}, c: c}
 	o.pg = o.install(t, c, o, 0x1000, 0)
-	ev, _ := c.ReclaimScan(1, true, nil)
+	tl := newTestTLB(alloc, dom)
+	g := tl.Gather(0)
+	ev, _ := c.ReclaimScan(1, true, g)
+	g.Flush()
 	if ev != 0 {
 		t.Fatalf("evicted %d, want the refault to abort the eviction", ev)
 	}
@@ -359,9 +379,11 @@ func TestEvictAbortOnRefault(t *testing.T) {
 	// The re-added mapping is live: a later scan (no further refault)
 	// evicts it cleanly.
 	o.readded = true // suppress the re-add
-	if ev, _ := c.ReclaimScan(1, true, nil); ev != 1 {
+	g = tl.Gather(0)
+	if ev, _ := c.ReclaimScan(1, true, g); ev != 1 {
 		t.Fatalf("follow-up scan evicted %d, want 1", ev)
 	}
+	g.Flush()
 	dom.Flush()
 	if alloc.InUse() != 0 {
 		t.Fatalf("%d frames leaked", alloc.InUse())

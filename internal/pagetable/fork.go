@@ -2,6 +2,7 @@ package pagetable
 
 import (
 	"bonsai/internal/physmem"
+	"bonsai/internal/tlb"
 )
 
 // FillResult reports what FillOrUpgrade did under the PTE lock.
@@ -92,7 +93,12 @@ func (t *Tables) FillOrUpgrade(addr uint64, pt *PageTable, write bool,
 // either the old or the new entry, and the child receives the same COW
 // entry; marking even read-only pages COW keeps a later mprotect-to-
 // writable from silently sharing stores between the two spaces. When
-// cow is false (Shared mappings) entries are copied verbatim.
+// cow is false (Shared mappings) entries are copied verbatim. Each
+// downgrade that actually narrowed a PTE is recorded in g: the parent's
+// cores may hold writable translations of those pages, so the caller
+// must flush the gather — one shootdown for the whole fork, like the
+// kernel's flush_tlb_mm at the end of dup_mmap — before the clone is
+// considered complete.
 //
 // Each collected entry is installed into dst under dst's leaf PTE
 // lock, with onInstall (if non-nil) invoked inside that critical
@@ -110,7 +116,7 @@ func (t *Tables) FillOrUpgrade(addr uint64, pt *PageTable, write bool,
 // already installed are the caller's to unwind via its normal unmap
 // path. This keeps a failed fork leak-free, which matters now that
 // forks retry after direct reclaim instead of failing outright.
-func (t *Tables) CloneRange(cpu int, dst *Tables, lo, hi uint64, cow bool,
+func (t *Tables) CloneRange(cpu int, g *tlb.Gather, dst *Tables, lo, hi uint64, cow bool,
 	onShare func(addr uint64, f physmem.Frame),
 	onInstall func(addr uint64, f physmem.Frame) bool,
 	onUndo func(addr uint64, f physmem.Frame)) error {
@@ -147,6 +153,7 @@ func (t *Tables) CloneRange(cpu int, dst *Tables, lo, hi uint64, cow bool,
 				downgraded := (pte &^ PTEWritable) | PTECow
 				if downgraded != pte {
 					pt.SetPTE(i, downgraded)
+					g.Revoke(1)
 				}
 				childPTE = downgraded
 			}

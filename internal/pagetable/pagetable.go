@@ -23,6 +23,7 @@ import (
 	"bonsai/internal/locks"
 	"bonsai/internal/physmem"
 	"bonsai/internal/rcu"
+	"bonsai/internal/tlb"
 )
 
 // Virtual address geometry (x86-64 four-level paging).
@@ -206,19 +207,23 @@ func (t *Tables) newPageTable(cpu int) (*PageTable, error) {
 	return pt, nil
 }
 
-// releaseDirectory retires a detached directory. The frame free is
-// queued on the caller's CPU shard and runs after a grace period; the
-// unmap scan itself never waits for one.
+// releaseDirectory retires a detached directory outside any gather
+// (ReleaseRoot). The frame free is queued on the caller's CPU shard
+// and runs after a grace period; the caller never waits for one.
 func (t *Tables) releaseDirectory(cpu int, d *directory) {
 	t.tablesFreed.Add(1)
 	t.tablesLive.Add(-1)
 	t.dom.DeferOn(cpu, func() { t.alloc.FreeRemote(d.frame) })
 }
 
-func (t *Tables) releasePageTable(cpu int, pt *PageTable) {
+// retireStructure retires a detached directory or leaf table through
+// the unmap scan's gather: the structure frame rides the batch's
+// deferred release, past the flush's grace period, so lock-free
+// walkers still descending through it stay safe.
+func (t *Tables) retireStructure(g *tlb.Gather, f physmem.Frame) {
 	t.tablesFreed.Add(1)
 	t.tablesLive.Add(-1)
-	t.dom.DeferOn(cpu, func() { t.alloc.FreeRemote(pt.frame) })
+	g.Table(f)
 }
 
 func checkAddr(addr uint64) {
@@ -371,14 +376,18 @@ func (t *Tables) FillPTE(addr uint64, pt *PageTable, recheck func() bool,
 
 // UnmapRange implements the recursive unmap scan of Figure 11 for
 // [lo, hi): it clears every present PTE in the range under the PTE
-// locks (passing each cleared entry's virtual address and PTE to
-// onPage — still inside the PTE lock, so rmap bookkeeping keyed by the
-// address is ordered against a racing refault of the same page — so
-// the caller can retire the frame), frees page tables and directories
-// that the range fully covers, and clears the directory entries
-// pointing at them under the page-directory lock. All structure frees
-// are RCU-delayed.
-func (t *Tables) UnmapRange(cpu int, lo, hi uint64, onPage func(addr, pte uint64)) {
+// locks, feeding each revoked translation and its frame into the
+// caller's gather (the frame's reference is released only after the
+// gather's flush and a grace period), frees page tables and
+// directories that the range fully covers — their frames ride the
+// same gather — and clears the directory entries pointing at them
+// under the page-directory lock. onPage, if non-nil, receives each
+// cleared entry's virtual address and PTE still inside the PTE lock,
+// so rmap bookkeeping keyed by the address is ordered against a
+// racing refault of the same page. The scan itself pays no shootdown
+// and waits for no grace period: the caller flushes the gather once
+// for the whole batch.
+func (t *Tables) UnmapRange(g *tlb.Gather, lo, hi uint64, onPage func(addr, pte uint64)) {
 	checkAddr(lo)
 	if hi != MaxAddress {
 		checkAddr(hi - 1)
@@ -386,12 +395,12 @@ func (t *Tables) UnmapRange(cpu int, lo, hi uint64, onPage func(addr, pte uint64
 	if lo >= hi {
 		return
 	}
-	t.unmapDir(cpu, t.root, lo, hi, onPage)
+	t.unmapDir(g, t.root, lo, hi, onPage)
 }
 
 // unmapDir unmaps [lo, hi) within d's span. lo and hi are absolute
 // addresses already clamped to d's span by the caller.
-func (t *Tables) unmapDir(cpu int, d *directory, lo, hi uint64, onPage func(addr, pte uint64)) {
+func (t *Tables) unmapDir(g *tlb.Gather, d *directory, lo, hi uint64, onPage func(addr, pte uint64)) {
 	span := levelSpan(d.level)
 	// Base virtual address of d's span.
 	dirBase := lo &^ (span*uint64(EntriesPerTable) - 1)
@@ -414,35 +423,38 @@ func (t *Tables) unmapDir(cpu int, d *directory, lo, hi uint64, onPage func(addr
 			if pt == nil {
 				continue
 			}
-			t.clearPTEs(pt, clampLo, clampHi, full, onPage)
+			t.clearPTEs(g, pt, clampLo, clampHi, full, onPage)
 			if full {
 				t.dirLock.Lock()
 				d.tables[idx].Store(nil)
 				t.dirLock.Unlock()
-				t.releasePageTable(cpu, pt)
+				t.retireStructure(g, pt.frame)
 			}
 		} else {
 			child := d.dirs[idx].Load()
 			if child == nil {
 				continue
 			}
-			t.unmapDir(cpu, child, clampLo, clampHi, onPage)
+			t.unmapDir(g, child, clampLo, clampHi, onPage)
 			if full {
 				t.dirLock.Lock()
 				child.dead.Store(true)
 				d.dirs[idx].Store(nil)
 				t.dirLock.Unlock()
-				t.releaseDirectory(cpu, child)
+				t.retireStructure(g, child.frame)
 			}
 		}
 	}
 }
 
-// clearPTEs clears the PTEs of pt covering [lo, hi) under the PTE lock.
-// When detach is true the whole table is being freed, so it is marked
-// dead inside the same critical section; any fault that subsequently
-// acquires this lock will observe its VMA recheck fail (§5.2).
-func (t *Tables) clearPTEs(pt *PageTable, lo, hi uint64, detach bool, onPage func(addr, pte uint64)) {
+// clearPTEs clears the PTEs of pt covering [lo, hi) under the PTE
+// lock, recording each revoked translation (and its frame, pending
+// release) in the gather and running onPage inside the same critical
+// section. When detach is true the whole table is being freed, so it
+// is marked dead inside the same critical section; any fault that
+// subsequently acquires this lock will observe its VMA recheck fail
+// (§5.2).
+func (t *Tables) clearPTEs(g *tlb.Gather, pt *PageTable, lo, hi uint64, detach bool, onPage func(addr, pte uint64)) {
 	first, last := index(lo, 1), index(hi-1, 1)
 	base := lo &^ (TableSpan - 1)
 	pt.Lock()
@@ -453,8 +465,10 @@ func (t *Tables) clearPTEs(pt *PageTable, lo, hi uint64, detach bool, onPage fun
 		}
 		pt.ptes[i].Store(0)
 		t.ptesCleared.Add(1)
+		addr := base + uint64(i)<<PageShift
+		g.Page(addr, PTEFrame(pte))
 		if onPage != nil {
-			onPage(base+uint64(i)<<PageShift, pte)
+			onPage(addr, pte)
 		}
 	}
 	if detach {

@@ -6,6 +6,7 @@ import (
 
 	"bonsai/internal/physmem"
 	"bonsai/internal/rcu"
+	"bonsai/internal/tlb"
 )
 
 func newTables(t *testing.T, cfg Config) (*Tables, *physmem.Allocator, *rcu.Domain) {
@@ -17,6 +18,13 @@ func newTables(t *testing.T, cfg Config) (*Tables, *physmem.Allocator, *rcu.Doma
 		t.Fatal(err)
 	}
 	return tb, alloc, dom
+}
+
+// testGather returns a zero-cost gather for unmap scans: the scan
+// feeds revoked frames into it, and Flush hands them back to alloc
+// after a grace period.
+func testGather(alloc *physmem.Allocator, dom *rcu.Domain) *tlb.Gather {
+	return tlb.NewDomain(alloc, dom, tlb.CostModel{}).Gather(0)
 }
 
 // fill maps addr to a fresh frame, mimicking the fault handler's fill.
@@ -118,11 +126,12 @@ func TestUnmapRangeFreesEverything(t *testing.T) {
 	if got := tb.CountPresent(base, base+pages*PageSize); got != pages {
 		t.Fatalf("mapped %d pages, walk sees %d", pages, got)
 	}
+	g := testGather(alloc, dom)
 	freedPages := 0
-	tb.UnmapRange(0, base, base+pages*PageSize, func(_, pte uint64) {
-		dom.Defer(func() { alloc.Free(0, PTEFrame(pte)) })
+	tb.UnmapRange(g, base, base+pages*PageSize, func(_, pte uint64) {
 		freedPages++
 	})
+	g.Flush()
 	if freedPages != pages {
 		t.Fatalf("unmap scan visited %d pages, want %d", freedPages, pages)
 	}
@@ -143,9 +152,9 @@ func TestUnmapPartialTableKeepsTable(t *testing.T) {
 	// Map two pages in the same leaf table; unmap one.
 	fill(t, tb, alloc, 0, 0x1000)
 	fill(t, tb, alloc, 0, 0x2000)
-	tb.UnmapRange(0, 0x1000, 0x2000, func(_, pte uint64) {
-		dom.Defer(func() { alloc.Free(0, PTEFrame(pte)) })
-	})
+	g := testGather(alloc, dom)
+	tb.UnmapRange(g, 0x1000, 0x2000, nil)
+	g.Flush()
 	if _, ok := tb.Walk(0x1000); ok {
 		t.Fatal("unmapped page still mapped")
 	}
@@ -167,9 +176,9 @@ func TestUnmapDetachesFullyCoveredTable(t *testing.T) {
 	if before == nil {
 		t.Fatal("table missing after fill")
 	}
-	tb.UnmapRange(0, base, base+TableSpan, func(_, pte uint64) {
-		dom.Defer(func() { alloc.Free(0, PTEFrame(pte)) })
-	})
+	g := testGather(alloc, dom)
+	tb.UnmapRange(g, base, base+TableSpan, nil)
+	g.Flush()
 	if !before.Dead() {
 		t.Fatal("fully covered table not marked dead")
 	}
@@ -183,9 +192,9 @@ func TestFillIntoDeadTablePanics(t *testing.T) {
 	base := uint64(0x200000)
 	fill(t, tb, alloc, 0, base)
 	pt := tb.WalkTable(base)
-	tb.UnmapRange(0, base, base+TableSpan, func(_, pte uint64) {
-		dom.Defer(func() { alloc.Free(0, PTEFrame(pte)) })
-	})
+	g := testGather(alloc, dom)
+	tb.UnmapRange(g, base, base+TableSpan, nil)
+	g.Flush()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("SetPTE into dead table did not panic")
@@ -201,9 +210,9 @@ func TestNoFrameLeaksAfterFullTeardown(t *testing.T) {
 	for i := uint64(0); i < 500; i++ {
 		fill(t, tb, alloc, 0, 0x100000000+i*0x201000) // scattered: many tables
 	}
-	tb.UnmapRange(0, 0, MaxAddress, func(_, pte uint64) {
-		dom.Defer(func() { alloc.Free(0, PTEFrame(pte)) })
-	})
+	g := testGather(alloc, dom)
+	tb.UnmapRange(g, 0, MaxAddress, nil)
+	g.Flush()
 	dom.Barrier()
 	st := tb.Stats()
 	if st.TablesLive != 1 { // only the root remains

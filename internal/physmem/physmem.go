@@ -92,6 +92,13 @@ type Allocator struct {
 	// last reference is dropped.
 	refs []atomic.Int32
 
+	// gens holds per-frame allocation generations, incremented each
+	// time a frame is allocated. Tests use them to prove lifetime
+	// invariants — a frame observed through a live translation must
+	// keep the generation it had when the translation was installed, or
+	// it was freed and recycled under that translation.
+	gens []atomic.Uint64
+
 	backing []atomic.Pointer[[PageSize]byte]
 
 	// pressure is the kswapd wake-up channel (capacity 1); lowHit is
@@ -129,6 +136,7 @@ func New(cfg Config) *Allocator {
 		mags:     make([]magazine, cfg.CPUs),
 		state:    make([]atomic.Uint64, (cfg.Frames+1+63)/64),
 		refs:     make([]atomic.Int32, cfg.Frames+1),
+		gens:     make([]atomic.Uint64, cfg.Frames+1),
 		pressure: make(chan struct{}, 1),
 	}
 	// Push descending so low frames are allocated first.
@@ -186,6 +194,7 @@ func (a *Allocator) Alloc(cpu int) (Frame, error) {
 		}
 	}
 	a.setAllocated(f)
+	a.gens[f].Add(1)
 	a.refs[f].Store(1)
 	a.allocs.Add(1)
 	a.inUse.Add(1)
@@ -338,6 +347,50 @@ func (a *Allocator) FreeRemote(f Frame) {
 	a.free = append(a.free, f)
 	a.mu.Unlock()
 	a.rearmPressure()
+}
+
+// FreeBatch drops one reference from each frame, returning every frame
+// whose last reference dropped to the global pool under a single
+// allocator-lock acquisition — the batched analogue of FreeRemote the
+// TLB-gather flush path uses, so a 1024-page unmap pays one lock round
+// instead of 1024. Like FreeRemote it is safe from any goroutine, and
+// frames reachable by concurrent RCU readers must not reach it until a
+// grace period has elapsed.
+func (a *Allocator) FreeBatch(frames []Frame) {
+	final := 0
+	for _, f := range frames {
+		if f == NoFrame || uint64(f) > a.cfg.Frames {
+			panic(fmt.Sprintf("physmem: FreeBatch of invalid frame %d", f))
+		}
+		switch n := a.refs[f].Add(-1); {
+		case n > 0:
+			continue
+		case n < 0:
+			panic(fmt.Sprintf("physmem: FreeBatch of frame %d with no references", f))
+		}
+		a.clearAllocated(f)
+		frames[final] = f
+		final++
+	}
+	if final == 0 {
+		return
+	}
+	a.frees.Add(uint64(final))
+	a.inUse.Add(int64(-final))
+	a.mu.Lock()
+	a.free = append(a.free, frames[:final]...)
+	a.mu.Unlock()
+	a.rearmPressure()
+}
+
+// Gen returns the frame's allocation generation: incremented each time
+// the frame is allocated, so an observer holding a frame number can
+// detect a free-and-recycle behind its back.
+func (a *Allocator) Gen(f Frame) uint64 {
+	if f == NoFrame || uint64(f) > a.cfg.Frames {
+		panic(fmt.Sprintf("physmem: Gen of invalid frame %d", f))
+	}
+	return a.gens[f].Load()
 }
 
 // notePressure publishes one wake-up token when free frames fall below

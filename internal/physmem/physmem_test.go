@@ -219,3 +219,69 @@ func TestConcurrentPerCPU(t *testing.T) {
 		t.Fatalf("allocs %d != frees %d", st.Allocs, st.Frees)
 	}
 }
+
+// TestFreeBatch: a batch free drops one reference per frame, returns
+// only final frames to the pool, and panics like Free on underflow.
+func TestFreeBatch(t *testing.T) {
+	a := New(Config{Frames: 64, CPUs: 1})
+	var frames []Frame
+	for i := 0; i < 8; i++ {
+		f, err := a.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	// An extra reference on frames[0] keeps it allocated through the
+	// batch; everything else frees.
+	a.Ref(frames[0])
+	batch := make([]Frame, len(frames))
+	copy(batch, frames)
+	a.FreeBatch(batch)
+	if !a.Allocated(frames[0]) {
+		t.Fatal("referenced frame freed by batch")
+	}
+	for _, f := range frames[1:] {
+		if a.Allocated(f) {
+			t.Fatalf("frame %d still allocated after batch free", f)
+		}
+	}
+	if a.InUse() != 1 {
+		t.Fatalf("InUse = %d, want 1", a.InUse())
+	}
+	a.FreeBatch([]Frame{frames[0]})
+	if a.InUse() != 0 {
+		t.Fatalf("InUse = %d after final drop, want 0", a.InUse())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FreeBatch underflow did not panic")
+		}
+	}()
+	a.FreeBatch([]Frame{frames[1]})
+}
+
+// TestGenAdvancesPerAllocation: the allocation generation distinguishes
+// incarnations of a recycled frame.
+func TestGenAdvancesPerAllocation(t *testing.T) {
+	a := New(Config{Frames: 1, CPUs: 1})
+	f, err := a.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := a.Gen(f)
+	a.Free(0, f)
+	if a.Gen(f) != g1 {
+		t.Fatal("Gen changed on free")
+	}
+	f2, err := a.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != f {
+		t.Fatalf("one-frame pool recycled a different frame: %d vs %d", f2, f)
+	}
+	if a.Gen(f2) != g1+1 {
+		t.Fatalf("Gen = %d after recycle, want %d", a.Gen(f2), g1+1)
+	}
+}

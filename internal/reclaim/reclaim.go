@@ -34,6 +34,7 @@ import (
 	"bonsai/internal/pagecache"
 	"bonsai/internal/physmem"
 	"bonsai/internal/rcu"
+	"bonsai/internal/tlb"
 )
 
 // Config tunes a Reclaimer.
@@ -48,10 +49,12 @@ type Config struct {
 	// distance), and when idle it doubles as a periodic pressure
 	// re-check under the channel wake-up. Zero means 20ms.
 	Interval time.Duration
-	// Shootdown, if non-nil, is charged once per evicted page whose
-	// translations were revoked — the simulated TLB-shootdown cost the
-	// VM layer also pays on its unmap paths.
-	Shootdown func()
+	// TLB is the machine's shootdown-gather domain: each reclaim batch
+	// accumulates its revocations into one gather and flushes it once —
+	// a single shootdown charge per batch, the same pipeline the VM
+	// layer's zap paths use. Nil means a zero-cost private domain
+	// (tests without a VM layer).
+	TLB *tlb.Domain
 }
 
 // Reclaimer drives page reclaim for one machine (one physmem pool, one
@@ -91,6 +94,9 @@ func New(alloc *physmem.Allocator, dom *rcu.Domain, cfg Config) *Reclaimer {
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = 20 * time.Millisecond
+	}
+	if cfg.TLB == nil {
+		cfg.TLB = tlb.NewDomain(alloc, dom, tlb.CostModel{})
 	}
 	r := &Reclaimer{
 		alloc: alloc,
@@ -223,7 +229,10 @@ func (r *Reclaimer) reclaim(target int, force bool) (drained, evictedN int) {
 	r.cachesMu.Unlock()
 
 	if len(caches) > 0 {
-		shootdown := r.cfg.Shootdown
+		// The batch gather: every PTE the scan revokes lands here, and
+		// one flush pays one shootdown for the whole batch (where the
+		// pre-gather code charged per evicted page).
+		g := r.cfg.TLB.Gather(0)
 		r.rd.Lock()
 		// One gentle clock pass per call: a pass over a fully hot set
 		// only clears accessed bits, and the bits must survive until
@@ -232,11 +241,16 @@ func (r *Reclaimer) reclaim(target int, force bool) (drained, evictedN int) {
 		// would degenerate clock into round-robin eviction of hot
 		// pages. A forced final pass gives direct reclaim its progress
 		// guarantee when even the second chances are exhausted.
-		evicted, written = r.scanOnce(caches, target, false, shootdown)
+		evicted, written = r.scanOnce(caches, target, false, g)
 		if evicted == 0 && force {
-			evicted, written = r.scanOnce(caches, target, true, shootdown)
+			evicted, written = r.scanOnce(caches, target, true, g)
 		}
 		r.rd.Unlock()
+		// Flush outside the read section (the spin must not extend a
+		// grace period the deferred frees below wait on) but before the
+		// domain flush: the batched release has to be queued for that
+		// grace period to drain it.
+		g.Flush()
 	}
 	r.scanMu.Unlock()
 
@@ -254,11 +268,11 @@ func (r *Reclaimer) reclaim(target int, force bool) (drained, evictedN int) {
 
 // scanOnce runs one clock pass across the caches, round-robin from the
 // rotation cursor so one hot file cannot shadow the others.
-func (r *Reclaimer) scanOnce(caches []*pagecache.Cache, target int, force bool, shootdown func()) (evicted, written int) {
+func (r *Reclaimer) scanOnce(caches []*pagecache.Cache, target int, force bool, g *tlb.Gather) (evicted, written int) {
 	r.scanPasses.Add(1)
 	for i := 0; i < len(caches) && evicted < target; i++ {
 		c := caches[(r.handCache+i)%len(caches)]
-		ev, wr := c.ReclaimScan(target-evicted, force, shootdown)
+		ev, wr := c.ReclaimScan(target-evicted, force, g)
 		evicted += ev
 		written += wr
 	}

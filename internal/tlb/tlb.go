@@ -1,0 +1,205 @@
+// Package tlb implements mmu_gather-style batched TLB shootdown: the
+// single pipeline every translation-revoking path in the VM system
+// (munmap, MADV_DONTNEED, mprotect downgrades, COW breaks, fork's
+// write-protect pass, page reclaim) feeds instead of charging the
+// shootdown cost and releasing frames one page at a time.
+//
+// A zap operation creates a Gather, accumulates into it while it walks
+// page tables — revoked translations, frames whose references the
+// revocations released, detached page-table structures, bookkeeping
+// callbacks — and then calls Flush exactly once per batch. Flush pays
+// one shootdown charge for the whole batch (Base + PerCore × Cores,
+// the same cost shape internal/sim's analytical model uses for its
+// ShootdownBase/ShootdownPerCore parameters) and only then queues the
+// batch's frames for release: a single RCU callback that returns every
+// frame to the allocator in one FreeBatch call, one allocator-lock
+// acquisition per batch instead of one per page.
+//
+// The hard invariant the ordering enforces: no frame is reusable while
+// any translation to it may be live. A frame recorded in a gather
+// becomes allocatable only after (a) the batch's flush has completed —
+// in a real kernel, after every core acknowledged the invalidation IPI
+// — and (b) an RCU grace period has elapsed, so lock-free page-table
+// walkers that loaded the PTE before it was cleared have drained too.
+//
+// Ownership: a Gather is owned by the zapping thread and is not safe
+// for concurrent use. It may be filled while PTE locks are held
+// (recording is an append), but Flush — which spins out the simulated
+// IPI wait — must only be called after every PTE lock is released,
+// inside whatever mapping-operation exclusion the zap holds; a gather
+// is never held across a blocking lock acquisition.
+package tlb
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"bonsai/internal/physmem"
+	"bonsai/internal/rcu"
+)
+
+// CostModel parameterizes the per-flush shootdown charge, mirroring
+// internal/sim's analytical model: a fixed dispatch cost plus a cost
+// per core that may hold a live translation of the flushed range. This
+// user-space VM does not track which cores actually cached a
+// translation, so Cores is the machine's fault-context count — the
+// conservative set a real kernel's mm_cpumask approximates.
+type CostModel struct {
+	// Base is the fixed IPI-broadcast dispatch cost per flush.
+	Base time.Duration
+	// PerCore is the additional cost per core that must acknowledge
+	// the invalidation.
+	PerCore time.Duration
+	// Cores is the number of cores charged the PerCore cost.
+	Cores int
+}
+
+// perFlush returns the wall-clock charge of one flush.
+func (c CostModel) perFlush() time.Duration {
+	return c.Base + c.PerCore*time.Duration(c.Cores)
+}
+
+// Domain ties gathers to one simulated machine: the allocator batched
+// frees return to, the RCU domain that delays them past a grace
+// period, the cost model, and the machine-wide flush counters.
+type Domain struct {
+	alloc *physmem.Allocator
+	dom   *rcu.Domain
+	cost  time.Duration // precomputed per-flush charge
+
+	flushes atomic.Uint64
+	pages   atomic.Uint64
+}
+
+// NewDomain returns a gather domain for the machine.
+func NewDomain(alloc *physmem.Allocator, dom *rcu.Domain, cost CostModel) *Domain {
+	return &Domain{alloc: alloc, dom: dom, cost: cost.perFlush()}
+}
+
+// Gather returns an empty gather. shard is the RCU shard hint the
+// batch's deferred release is queued on.
+func (d *Domain) Gather(shard int) *Gather {
+	return &Gather{d: d, shard: shard}
+}
+
+// Gather accumulates one zap operation's revocations. See the package
+// comment for the ownership and ordering rules.
+type Gather struct {
+	d     *Domain
+	shard int
+
+	// lo, hi span the revoked virtual addresses (see Span).
+	lo, hi uint64
+	// pages counts revoked or narrowed translations; any non-zero
+	// count makes the next Flush pay the shootdown charge.
+	pages int
+
+	frames []physmem.Frame
+	defers []func()
+}
+
+// Page records a revoked translation at addr that held a reference to
+// frame f: the reference is released after the batch's flush and a
+// grace period.
+func (g *Gather) Page(addr uint64, f physmem.Frame) {
+	g.span(addr)
+	g.pages++
+	g.frames = append(g.frames, f)
+}
+
+// Revoke records n translations revoked or narrowed (an mprotect
+// write-protect downgrade, fork's COW downgrade pass) with no frame
+// reference to release.
+func (g *Gather) Revoke(n int) { g.pages += n }
+
+// Table records a detached page-table structure. Its frame is released
+// after a grace period — lock-free walkers may still be descending
+// through it — riding the same batched free as the page frames.
+func (g *Gather) Table(f physmem.Frame) { g.frames = append(g.frames, f) }
+
+// Defer records a bookkeeping callback to run with the batch's
+// deferred release, after the flush and its grace period.
+func (g *Gather) Defer(fn func()) { g.defers = append(g.defers, fn) }
+
+// Pages returns the number of revoked translations accumulated since
+// the last flush.
+func (g *Gather) Pages() int { return g.pages }
+
+// Span returns the virtual-address interval [lo, hi) covering every
+// Page-recorded revocation of the current batch (diagnostics; a
+// finer-grained cost model could intersect it with per-core TLB
+// contents). Zero-length until the first Page call.
+func (g *Gather) Span() (lo, hi uint64) { return g.lo, g.hi }
+
+func (g *Gather) span(addr uint64) {
+	if g.hi == 0 || addr < g.lo {
+		g.lo = addr
+	}
+	if addr >= g.hi {
+		g.hi = addr + 1
+	}
+}
+
+// Flush completes the batch: if any translation was revoked it pays
+// one shootdown charge — spinning out the simulated IPI round inside
+// whatever exclusion the caller holds, exactly where a kernel waits
+// for acknowledgements — and then queues the accumulated frames for a
+// single batched release past an RCU grace period. A gather may be
+// reused after Flush; flushing an empty gather is a no-op.
+func (g *Gather) Flush() {
+	if g.pages > 0 {
+		g.d.flushes.Add(1)
+		g.d.pages.Add(uint64(g.pages))
+		spinWait(g.d.cost)
+		g.pages = 0
+		g.lo, g.hi = 0, 0
+	}
+	if len(g.frames) == 0 && len(g.defers) == 0 {
+		return
+	}
+	frames, defers := g.frames, g.defers
+	g.frames, g.defers = nil, nil
+	d := g.d
+	d.dom.DeferOn(g.shard, func() {
+		d.alloc.FreeBatch(frames)
+		for _, fn := range defers {
+			fn()
+		}
+	})
+}
+
+// spinWait charges a simulated IPI wait: a calibrated wall-clock spin
+// that yields its timeslice (a kernel spinning on IPI acks with
+// interrupts enabled), not time.Sleep — the timer wheel's wake-up
+// latency is orders of magnitude coarser than microsecond-scale IPI
+// costs and would swamp the measurement.
+func spinWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// Stats is a snapshot of the domain's flush counters.
+type Stats struct {
+	Flushes      uint64 // batched shootdown flushes paid
+	PagesFlushed uint64 // translations revoked across those flushes
+}
+
+// PagesPerFlush returns the mean batch size — the factor by which
+// batching divided the shootdown count.
+func (s Stats) PagesPerFlush() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.PagesFlushed) / float64(s.Flushes)
+}
+
+// Stats returns a snapshot of the domain's counters.
+func (d *Domain) Stats() Stats {
+	return Stats{Flushes: d.flushes.Load(), PagesFlushed: d.pages.Load()}
+}

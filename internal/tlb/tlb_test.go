@@ -1,0 +1,126 @@
+package tlb
+
+import (
+	"testing"
+	"time"
+
+	"bonsai/internal/physmem"
+	"bonsai/internal/rcu"
+)
+
+func newTestDomain(t *testing.T, cost CostModel) (*Domain, *physmem.Allocator, *rcu.Domain) {
+	t.Helper()
+	alloc := physmem.New(physmem.Config{Frames: 1 << 10, CPUs: 2})
+	dom := rcu.NewDomain(rcu.Options{})
+	t.Cleanup(dom.Close)
+	return NewDomain(alloc, dom, cost), alloc, dom
+}
+
+// TestFlushBatchesFrames: one flush releases every gathered frame in a
+// batch, only after a grace period, and counts one flush for the whole
+// batch.
+func TestFlushBatchesFrames(t *testing.T) {
+	d, alloc, dom := newTestDomain(t, CostModel{})
+	g := d.Gather(0)
+	var frames []physmem.Frame
+	for i := 0; i < 16; i++ {
+		f, err := alloc.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+		g.Page(uint64(i)*4096, f)
+	}
+	if g.Pages() != 16 {
+		t.Fatalf("Pages() = %d, want 16", g.Pages())
+	}
+	if lo, hi := g.Span(); lo != 0 || hi != 15*4096+1 {
+		t.Fatalf("Span() = [%#x, %#x)", lo, hi)
+	}
+	g.Flush()
+	dom.Flush()
+	for _, f := range frames {
+		if alloc.Allocated(f) {
+			t.Fatalf("frame %d still allocated after flush + grace period", f)
+		}
+	}
+	if st := d.Stats(); st.Flushes != 1 || st.PagesFlushed != 16 {
+		t.Fatalf("stats %+v, want one flush covering 16 pages", st)
+	}
+	if st := d.Stats(); st.PagesPerFlush() != 16 {
+		t.Fatalf("PagesPerFlush = %v, want 16", st.PagesPerFlush())
+	}
+}
+
+// TestFlushEmptyIsFree: flushing a gather with nothing revoked charges
+// nothing and counts nothing.
+func TestFlushEmptyIsFree(t *testing.T) {
+	d, _, _ := newTestDomain(t, CostModel{Base: time.Second})
+	g := d.Gather(0)
+	start := time.Now()
+	g.Flush()
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("empty flush spun for %v", el)
+	}
+	if st := d.Stats(); st.Flushes != 0 {
+		t.Fatalf("empty flush counted: %+v", st)
+	}
+}
+
+// TestRevokeChargesWithoutFrames: Revoke-only batches (mprotect
+// downgrades, fork's COW pass) still pay exactly one flush.
+func TestRevokeChargesWithoutFrames(t *testing.T) {
+	d, _, _ := newTestDomain(t, CostModel{})
+	g := d.Gather(0)
+	g.Revoke(37)
+	g.Flush()
+	if st := d.Stats(); st.Flushes != 1 || st.PagesFlushed != 37 {
+		t.Fatalf("stats %+v, want one flush covering 37 revocations", st)
+	}
+}
+
+// TestGatherReusableAfterFlush: a flushed gather accumulates a fresh
+// batch.
+func TestGatherReusableAfterFlush(t *testing.T) {
+	d, alloc, dom := newTestDomain(t, CostModel{})
+	g := d.Gather(0)
+	f1, _ := alloc.Alloc(0)
+	g.Page(0x1000, f1)
+	g.Flush()
+	f2, _ := alloc.Alloc(0)
+	g.Page(0x2000, f2)
+	g.Flush()
+	dom.Flush()
+	if alloc.InUse() != 0 {
+		t.Fatalf("%d frames leaked across reuse", alloc.InUse())
+	}
+	if st := d.Stats(); st.Flushes != 2 || st.PagesFlushed != 2 {
+		t.Fatalf("stats %+v, want two one-page flushes", st)
+	}
+}
+
+// TestDeferRunsAfterFlush: bookkeeping callbacks ride the batch's
+// grace period.
+func TestDeferRunsAfterFlush(t *testing.T) {
+	d, _, dom := newTestDomain(t, CostModel{})
+	g := d.Gather(0)
+	ran := false
+	g.Defer(func() { ran = true })
+	g.Flush()
+	dom.Flush()
+	if !ran {
+		t.Fatal("deferred callback never ran")
+	}
+}
+
+// TestCostModelCharge: the flush spin is Base + PerCore×Cores.
+func TestCostModelCharge(t *testing.T) {
+	d, _, _ := newTestDomain(t, CostModel{Base: 2 * time.Millisecond, PerCore: time.Millisecond, Cores: 3})
+	g := d.Gather(0)
+	g.Revoke(1)
+	start := time.Now()
+	g.Flush()
+	if el := time.Since(start); el < 5*time.Millisecond {
+		t.Fatalf("flush spun %v, want >= 5ms (base 2ms + 3 cores x 1ms)", el)
+	}
+}

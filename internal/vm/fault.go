@@ -9,6 +9,7 @@ import (
 	"bonsai/internal/pagecache"
 	"bonsai/internal/pagetable"
 	"bonsai/internal/physmem"
+	"bonsai/internal/tlb"
 	"bonsai/internal/vma"
 )
 
@@ -338,7 +339,18 @@ func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool,
 	if err != nil {
 		return oomError(err)
 	}
-	makeCopy := func(old uint64) (uint64, error) { return c.cowBreak(page, old) }
+	// A COW break revokes the old shared translation; it batches into a
+	// gather created lazily (the common fault installs or upgrades in
+	// place and never needs one) and flushed after the PTE lock is
+	// released — the one-page batch still buys the deferred, post-flush
+	// frame release the pipeline's invariant requires.
+	var g *tlb.Gather
+	makeCopy := func(old uint64) (uint64, error) {
+		if g == nil {
+			g = as.fam.tlb.Gather(c.id)
+		}
+		return c.cowBreak(g, page, old)
+	}
 	if !locked {
 		makeCopy = nil
 	}
@@ -372,6 +384,12 @@ func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool,
 		}
 		return pagetable.MakePTE(frame, v.Prot()&vma.ProtWrite != 0), nil
 	}, makeCopy, onUpgrade)
+	if g != nil {
+		// The COW break ran (even if FillOrUpgrade then failed): pay its
+		// shootdown now, outside the PTE lock, inside the fault's
+		// mapping exclusion.
+		g.Flush()
+	}
 	if err != nil {
 		return oomError(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"bonsai/internal/pagecache"
 	"bonsai/internal/pagetable"
 	"bonsai/internal/physmem"
+	"bonsai/internal/tlb"
 	"bonsai/internal/vma"
 )
 
@@ -59,6 +60,12 @@ func (as *AddressSpace) forkOnce() (*AddressSpace, error) {
 	defer mg.unlock()
 	as.stats.forks.Add(1)
 
+	// One gather spans the whole fork: every private PTE the clone
+	// downgrades to read-only COW accumulates here, and the single
+	// flush below — still under the whole-space lock, like the
+	// kernel's flush_tlb_mm at the end of dup_mmap — invalidates the
+	// parent's stale writable translations in one batch.
+	g := as.fam.tlb.Gather(as.mapCPU)
 	var cloneErr error
 	as.idx.ascendRangeLocked(0, MaxAddress, func(v *vma.VMA) bool {
 		lo, hi := v.Start(), v.End()
@@ -77,7 +84,7 @@ func (as *AddressSpace) forkOnce() (*AddressSpace, error) {
 		// a mapped frame cannot be recycled into a different page). The
 		// install hook below re-validates each against eviction.
 		clonePages := make(map[uint64]*pagecache.Page)
-		cloneErr = as.tables.CloneRange(as.mapCPU, child.tables, lo, hi, cow,
+		cloneErr = as.tables.CloneRange(as.mapCPU, g, child.tables, lo, hi, cow,
 			func(addr uint64, f physmem.Frame) {
 				as.alloc.Ref(f)
 				if pg := as.fam.reg.Lookup(f); pg != nil {
@@ -112,6 +119,10 @@ func (as *AddressSpace) forkOnce() (*AddressSpace, error) {
 			})
 		return cloneErr == nil
 	})
+	// Flush before deciding the outcome: the downgrades already
+	// happened, so their shootdown is owed even when the clone failed
+	// partway and is about to be unwound.
+	g.Flush()
 	if cloneErr != nil {
 		// Unwind the partially built child completely, so a retry after
 		// direct reclaim starts from scratch.
@@ -129,15 +140,21 @@ func (as *AddressSpace) forkOnce() (*AddressSpace, error) {
 // cowBreak builds the replacement PTE for the copy-on-write page at
 // page: if this address space holds the only reference, the page is
 // re-owned in place (no copy); otherwise a fresh frame is allocated,
-// the contents copied, and the shared frame's reference dropped after
-// a grace period. It runs under the PTE lock via FillOrUpgrade.
-func (c *CPU) cowBreak(page, old uint64) (uint64, error) {
+// the contents copied, and the old translation's revocation recorded
+// in g — the faulting CPU's gather, flushed by fillPage once the PTE
+// lock is released, so the shared frame's reference drops only after
+// the break's shootdown (other cores may hold the stale read-only
+// translation) and a grace period. It runs under the PTE lock via
+// FillOrUpgrade.
+func (c *CPU) cowBreak(g *tlb.Gather, page, old uint64) (uint64, error) {
 	as := c.as
 	oldFrame := pagetable.PTEFrame(old)
 	if as.alloc.Refs(oldFrame) == 1 {
 		// Sole owner: make it writable again in place. (A frame still
 		// resident in a page cache always has the cache's own
-		// reference, so re-owning never needs rmap bookkeeping.)
+		// reference, so re-owning never needs rmap bookkeeping.) No
+		// translation is revoked — widening a local entry needs no
+		// cross-core invalidation.
 		as.stats.cowReowned.Add(1)
 		return pagetable.MakePTE(oldFrame, true), nil
 	}
@@ -156,8 +173,8 @@ func (c *CPU) cowBreak(page, old uint64) (uint64, error) {
 		pg.RemoveMapping(as, page)
 	}
 	// The old frame may still be reachable by lock-free readers of this
-	// address space until a grace period passes. Queue the free on this
-	// fault CPU's shard; it runs on the background detector.
-	as.dom.DeferOn(c.id, func() { as.alloc.FreeRemote(oldFrame) })
+	// address space until a grace period passes, and through stale TLB
+	// entries until the gather flushes.
+	g.Page(page, oldFrame)
 	return pagetable.MakePTE(newFrame, true), nil
 }

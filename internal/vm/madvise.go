@@ -1,11 +1,9 @@
 package vm
 
 import (
-	"runtime"
-	"time"
-
 	"bonsai/internal/pagetable"
 	"bonsai/internal/physmem"
+	"bonsai/internal/tlb"
 )
 
 // MadviseDontNeed discards the pages of [addr, addr+length), as
@@ -51,30 +49,35 @@ func (as *AddressSpace) MadviseDontNeed(addr, length uint64) error {
 	return nil
 }
 
-// zapRange clears the translations of [lo, hi), retiring page frames
-// through the RCU domain. The caller holds the mapping-operation
-// exclusion for [lo, hi) — mmap_sem in write mode with the mutation
-// phase entered, or a range lock covering the range, in which case a
-// disjoint operation may be zapping concurrently (the PTE and
-// page-directory locks make that safe). The deferred frees are queued
-// on the mapping-operation CPU's shard and processed by the domain's
+// zapRange clears the translations of [lo, hi) through one TLB gather:
+// the unmap scan accumulates every revoked translation (and the page
+// tables the range fully covered) into the batch, and the single flush
+// at the end pays one shootdown charge for all of them — inside
+// whatever exclusion the caller holds, which is the point: the global
+// designs serialize the wait on mmap_sem, the range-locked designs
+// overlap it across disjoint operations. The caller holds the
+// mapping-operation exclusion for [lo, hi) — mmap_sem in write mode
+// with the mutation phase entered, or a range lock covering the range,
+// in which case a disjoint operation may be zapping concurrently (the
+// PTE and page-directory locks make that safe). The batch's frames are
+// released after the flush and past a grace period, on the domain's
 // background detector — the unmap scan performs no grace-period wait,
 // even though it runs with PTE locks held (a synchronous drain here is
 // the deadlock the asynchronous design exists to prevent).
 func (as *AddressSpace) zapRange(lo, hi uint64) {
-	// Shard hint for the deferred frees. With the global semaphore only
-	// one mapping operation runs at a time, so the dedicated mapping
-	// shard is uncontended; under range locking many disjoint unmaps
-	// retire concurrently, so spread them across shards by address
-	// (2 MB granularity) instead of re-serializing on one shard mutex.
+	// Shard hint for the batch's deferred release. With the global
+	// semaphore only one mapping operation runs at a time, so the
+	// dedicated mapping shard is uncontended; under range locking many
+	// disjoint unmaps retire concurrently, so spread them across shards
+	// by address (2 MB granularity) instead of re-serializing on one
+	// shard mutex.
 	hint := as.mapCPU
 	if as.rl != nil {
 		hint = as.mapCPU + int(lo>>21)
 	}
-	zapped := false
-	as.tables.UnmapRange(hint, lo, hi, func(addr, pte uint64) {
+	g := as.fam.tlb.Gather(hint)
+	as.tables.UnmapRange(g, lo, hi, func(addr, pte uint64) {
 		frame := pagetable.PTEFrame(pte)
-		zapped = true
 		as.stats.pagesUnmapped.Add(1)
 		// A frame resident in a page cache carries an rmap entry for
 		// this PTE; drop it here, inside the PTE lock that cleared the
@@ -83,52 +86,26 @@ func (as *AddressSpace) zapRange(lo, hi uint64) {
 		if pg := as.fam.reg.Lookup(frame); pg != nil {
 			pg.RemoveMapping(as, addr)
 		}
-		as.dom.DeferOn(hint, func() { as.alloc.FreeRemote(frame) })
 	})
-	if zapped {
-		// Translations were revoked: pay the simulated TLB shootdown.
-		as.simulateShootdown()
-	}
+	g.Flush()
 }
 
 // EvictPTE implements pagecache.MappingOwner: the reclaim scan calls
 // it, rmap entry by rmap entry, to revoke the translation at vaddr if
-// it still maps frame f. The caller is inside an RCU read-side
-// critical section (the page-table walk is lock-free) and holds no
-// cache lock, so the only lock taken here is the leaf PTE lock — the
-// same level a fault's fill takes. A cleared entry's mapping reference
-// is retired past a grace period, exactly like a zap's; the rmap entry
-// itself is deleted by the scan's bookkeeping phase (generation-
-// checked against a concurrent refault).
-func (as *AddressSpace) EvictPTE(vaddr uint64, f physmem.Frame) bool {
+// it still maps frame f, accumulating the revocation into the scan's
+// batch gather. The caller is inside an RCU read-side critical section
+// (the page-table walk is lock-free) and holds no cache lock, so the
+// only lock taken here is the leaf PTE lock — the same level a fault's
+// fill takes. A cleared entry's mapping reference is retired by the
+// gather's flush, past the batch shootdown and a grace period; the
+// rmap entry itself is deleted by the scan's bookkeeping phase
+// (generation-checked against a concurrent refault).
+func (as *AddressSpace) EvictPTE(g *tlb.Gather, vaddr uint64, f physmem.Frame) bool {
 	if !as.tables.ClearPTEIfFrame(vaddr, f) {
 		return false
 	}
 	as.stats.pagesUnmapped.Add(1)
 	as.stats.evictUnmaps.Add(1)
-	as.dom.DeferOn(as.mapCPU, func() { as.alloc.FreeRemote(f) })
+	g.Page(vaddr, f)
 	return true
-}
-
-// simulateShootdown charges the configured TLB-shootdown latency to a
-// translation-revoking operation, inside whatever exclusion the caller
-// holds — which is the point: the global designs serialize this wait
-// on mmap_sem, the range-locked designs overlap it across disjoint
-// operations, and the reclaim scan pays it per evicted page. The wait
-// is a calibrated wall-clock spin that yields its timeslice (a kernel
-// spinning on IPI acks with interrupts enabled), not time.Sleep: the
-// timer wheel's wake-up latency is orders of magnitude coarser than
-// microsecond-scale IPI costs and would swamp the measurement.
-func (as *AddressSpace) simulateShootdown() {
-	spinShootdown(as.cfg.ShootdownDelay)
-}
-
-func spinShootdown(d time.Duration) {
-	if d <= 0 {
-		return
-	}
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
-		runtime.Gosched()
-	}
 }

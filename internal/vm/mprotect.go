@@ -97,10 +97,15 @@ func (as *AddressSpace) mprotectLocked(lo, hi uint64, prot vma.Prot) error {
 	as.mmapCache.Store(nil)
 
 	// Revoke write access from existing translations if the new
-	// protection forbids writing.
+	// protection forbids writing: the downgrades batch into one gather
+	// and pay a single shootdown flush (stale writable entries on other
+	// cores must be invalidated before the downgrade is effective),
+	// still inside the caller's mapping exclusion.
 	if prot&vma.ProtWrite == 0 {
-		if as.tables.WriteProtectRange(lo, hi) > 0 {
-			as.simulateShootdown()
+		if n := as.tables.WriteProtectRange(lo, hi); n > 0 {
+			g := as.fam.tlb.Gather(as.mapCPU)
+			g.Revoke(n)
+			g.Flush()
 		}
 	}
 	return nil

@@ -55,7 +55,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 // long simulated TLB shootdown); the touching munmap must complete
 // while it is still held, and the overlapping one must wait.
 func TestRangeLockTouchingVsOverlapping(t *testing.T) {
-	forEachRangeLocked(t, Config{CPUs: 2, ShootdownDelay: 100 * time.Millisecond},
+	forEachRangeLocked(t, Config{CPUs: 2, ShootdownBase: 100 * time.Millisecond},
 		func(t *testing.T, as *AddressSpace) {
 			const pages = 64
 			size := uint64(pages) * PageSize
@@ -127,7 +127,7 @@ func TestRangeLockTouchingVsOverlapping(t *testing.T) {
 // wait for in-flight range holders, must not be starved by operations
 // arriving after it, and must block them until it completes.
 func TestRangeLockWholeSpaceVsPendingHolders(t *testing.T) {
-	forEachRangeLocked(t, Config{CPUs: 2, ShootdownDelay: 50 * time.Millisecond},
+	forEachRangeLocked(t, Config{CPUs: 2, ShootdownBase: 50 * time.Millisecond},
 		func(t *testing.T, as *AddressSpace) {
 			const pages = 16
 			size := uint64(pages) * PageSize

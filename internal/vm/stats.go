@@ -79,6 +79,11 @@ type Stats struct {
 	EvictUnmaps    uint64 // PTEs revoked out of this space by the eviction scan
 	ReclaimRetries uint64 // faults that ran direct reclaim and retried
 
+	// TLB-shootdown counters, family-wide (the gather domain is shared
+	// with forks, siblings, and the reclaim scan, like the frame pool).
+	TLBFlushes      uint64 // batched shootdown flushes paid (internal/tlb)
+	TLBPagesFlushed uint64 // translations revoked across those flushes
+
 	// Page-cache counters, aggregated across every file mapped in the
 	// address space's family (the cache is family-shared; see
 	// internal/pagecache for the full Stats, including drops, via
@@ -99,10 +104,24 @@ func (s Stats) Retries() uint64 {
 	return s.RetriesMiss + s.RetriesFillRace + s.RetriesFile + s.RetriesCow
 }
 
+// PagesPerFlush returns the mean shootdown batch size — how many
+// revoked translations each flush covered. The per-page pre-gather
+// pipeline pinned this at 1; batching pushes it toward the zap sizes.
+func (s Stats) PagesPerFlush() float64 {
+	if s.TLBFlushes == 0 {
+		return 0
+	}
+	return float64(s.TLBPagesFlushed) / float64(s.TLBFlushes)
+}
+
 // Stats returns a snapshot of the address space's counters.
 func (as *AddressSpace) Stats() Stats {
 	pc := as.PageCacheStats()
+	tl := as.fam.tlb.Stats()
 	return Stats{
+		TLBFlushes:      tl.Flushes,
+		TLBPagesFlushed: tl.PagesFlushed,
+
 		PageCacheHits:        pc.Hits,
 		PageCacheMisses:      pc.Misses,
 		PageCacheCoalesced:   pc.Coalesced,

@@ -33,6 +33,7 @@ import (
 	"bonsai/internal/ranges"
 	"bonsai/internal/rcu"
 	"bonsai/internal/reclaim"
+	"bonsai/internal/tlb"
 	"bonsai/internal/vma"
 )
 
@@ -177,14 +178,25 @@ type Config struct {
 	// RangeLocks selects how mapping operations exclude one another;
 	// the zero value gives the RCU designs range locks.
 	RangeLocks RangeLockMode
-	// ShootdownDelay simulates the TLB-shootdown cost of revoking
-	// translations: every unmap or write-protect scan sleeps this long
-	// inside its critical section, modeling the IPI round-trip a real
-	// kernel pays while holding mmap_sem (this user-space VM has no
-	// TLB, so revocation is otherwise unrealistically cheap). The
+	// ShootdownBase and ShootdownPerCore parameterize the simulated
+	// TLB-shootdown charge every translation-revoking batch pays inside
+	// its critical section (this user-space VM has no TLB, so
+	// revocation is otherwise unrealistically cheap): each gather flush
+	// — one per munmap/MADV_DONTNEED/mprotect-downgrade/COW-break/fork
+	// downgrade pass/reclaim batch, however many pages it revoked —
+	// costs Base + PerCore × CPUs, the IPI dispatch plus one
+	// acknowledgement per core that may hold a live translation. This
+	// is the same cost shape internal/sim's analytical model uses
+	// (sim.Params.ShootdownBase/ShootdownPerCore, in cycles), so the
+	// executable paths and the model share parameters. The
 	// disjoint-mapping benchmarks use it to reproduce the paper's
-	// long-holder regime; zero (the default) disables it. Page reclaim
-	// pays the same charge for every page it unmaps.
+	// long-holder regime; zero (the default) disables the charge.
+	ShootdownBase, ShootdownPerCore time.Duration
+	// ShootdownDelay is the deprecated flat-cost predecessor of
+	// ShootdownBase/ShootdownPerCore: when both new parameters are
+	// zero, a non-zero ShootdownDelay is treated as ShootdownBase.
+	//
+	// Deprecated: set ShootdownBase (and ShootdownPerCore) instead.
 	ShootdownDelay time.Duration
 	// LowWater and HighWater are the reclaim watermarks in frames:
 	// below LowWater free frames the background reclaimer wakes and
@@ -267,6 +279,10 @@ type family struct {
 	// reg maps frames back to resident cache pages, for the zap and
 	// COW-break paths' rmap bookkeeping.
 	reg *pagecache.Registry
+	// tlb is the machine's shootdown-gather domain: every zap path
+	// batches its revocations into a tlb.Gather and flushes once —
+	// one shootdown charge and one batched frame release per batch.
+	tlb *tlb.Domain
 	// rec is the machine's reclaim driver: the kswapd-style background
 	// goroutine plus the direct-reclaim entry the fault/fork retry
 	// loops call on ErrFrameShortage.
@@ -322,10 +338,10 @@ func New(cfg Config) (*AddressSpace, error) {
 	})
 	fam.dom = rcu.NewDomain(rcu.Options{BatchSize: cfg.RCUBatch})
 	fam.reg = pagecache.NewRegistry(fam.alloc.NumFrames())
-	delay := cfg.ShootdownDelay
+	fam.tlb = tlb.NewDomain(fam.alloc, fam.dom, cfg.shootdownCost())
 	fam.rec = reclaim.New(fam.alloc, fam.dom, reclaim.Config{
 		BatchPages: cfg.ReclaimBatch,
-		Shootdown:  func() { spinShootdown(delay) },
+		TLB:        fam.tlb,
 	})
 	as, err := newMember(cfg, fam)
 	if err != nil {
@@ -593,6 +609,22 @@ func (as *AddressSpace) requiredCover(lo, hi uint64, mergePred bool) (uint64, ui
 		}
 	}
 	return nlo, nhi
+}
+
+// shootdownCost resolves the configured shootdown parameters into the
+// gather domain's cost model: Base + PerCore × CPUs per flush, with
+// the deprecated flat ShootdownDelay standing in for Base when the new
+// parameters are unset. CPUs spans one address space's fault contexts
+// — the set a real kernel's per-mm cpumask bounds — which is exact for
+// the zap paths (their batches revoke one space's translations) and an
+// approximation for reclaim, whose batch may span several sibling
+// spaces but still pays one space's worth of acknowledgements.
+func (cfg Config) shootdownCost() tlb.CostModel {
+	base, per := cfg.ShootdownBase, cfg.ShootdownPerCore
+	if base == 0 && per == 0 {
+		base = cfg.ShootdownDelay
+	}
+	return tlb.CostModel{Base: base, PerCore: per, Cores: cfg.CPUs}
 }
 
 // pageDown rounds addr down to a page boundary.
