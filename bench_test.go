@@ -26,6 +26,7 @@ import (
 	"bonsai/internal/rcu"
 	"bonsai/internal/sim"
 	"bonsai/internal/skiplist"
+	"bonsai/internal/torture"
 	"bonsai/internal/vm"
 	"bonsai/internal/vma"
 	"bonsai/internal/workload"
@@ -902,5 +903,35 @@ func BenchmarkMicroRealMmapInterference(b *testing.B) {
 				b.ReportMetric(res.Rate(), "faults/s")
 			}
 		})
+	}
+}
+
+// BenchmarkTortureSmoke runs a short fault-injected torture pass over
+// all four designs and reports its counters — the robustness headline
+// the CI bench snapshot tracks alongside the performance ones. Any
+// invariant violation fails the benchmark outright; the metrics are
+// worker operations per second of torture, failpoint fires, and
+// graceful-degradation outcomes (typed OOM errors and OOM kills).
+func BenchmarkTortureSmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := torture.Run(torture.Config{
+			Seed:     1,
+			Duration: 2 * time.Second,
+			Faults:   true,
+		})
+		for _, v := range rep.Violations {
+			b.Errorf("violation: %s", v)
+		}
+		if rep.Failed() {
+			b.Fatalf("torture found %d violations (replay: cmd/torture -seed %d)", len(rep.Violations), rep.Seed)
+		}
+		var fires uint64
+		for _, p := range rep.Failpoints {
+			fires += p.Fires
+		}
+		b.ReportMetric(float64(rep.Ops)/2.0, "torture-ops/s")
+		b.ReportMetric(float64(fires), "fail-fires")
+		b.ReportMetric(float64(rep.OOMErrors), "oom-errors")
+		b.ReportMetric(float64(rep.OOMKills), "oom-kills")
 	}
 }

@@ -35,8 +35,10 @@ import (
 // the working set at 2x physical memory), and the munmap-batching
 // benchmarks whose tlb-flushes/pages-per-flush counters anchor the
 // shootdown-batching trajectory (one gather flush per 1024-page unmap
-// vs the per-page baseline).
-const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem|BenchmarkSharedFileFault|BenchmarkSharedFileFaultGlobalSem|BenchmarkMemoryPressure|BenchmarkMemoryPressureGlobalSem|BenchmarkMunmapBatched|BenchmarkMunmapBatchedPerPage)$`
+// vs the per-page baseline), and the torture smoke whose
+// torture-ops/fail-fires/oom-kills counters anchor the robustness
+// trajectory (fault-injected churn with zero invariant violations).
+const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem|BenchmarkSharedFileFault|BenchmarkSharedFileFaultGlobalSem|BenchmarkMemoryPressure|BenchmarkMemoryPressureGlobalSem|BenchmarkMunmapBatched|BenchmarkMunmapBatchedPerPage|BenchmarkTortureSmoke)$`
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {

@@ -1,0 +1,102 @@
+// Command torture runs the rcutorture-style VM stress harness: all
+// four §5 designs churned under a seeded fault-injection schedule,
+// with machine-wide invariant audits, printing a replayable seed and
+// exiting non-zero on any violation.
+//
+// Usage:
+//
+//	go run ./cmd/torture -seed 1 -duration 60s
+//	go run ./cmd/torture -seed 1 -designs purercu -faults=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bonsai/internal/torture"
+	"bonsai/internal/vm"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "fault-schedule seed (printed for replay)")
+	duration := flag.Duration("duration", 60*time.Second, "total run length, split across designs")
+	faults := flag.Bool("faults", true, "enable the fault-injection schedule")
+	workers := flag.Int("workers", 4, "churn goroutines per machine")
+	frames := flag.Uint64("frames", 0, "machine size in frames (0 = torture default)")
+	designs := flag.String("designs", "", "comma-separated subset: rwlock,faultlock,hybrid,purercu (default all)")
+	verbose := flag.Bool("v", false, "print per-design progress")
+	flag.Parse()
+
+	cfg := torture.Config{
+		Seed:     *seed,
+		Duration: *duration,
+		Faults:   *faults,
+		Workers:  *workers,
+		Frames:   *frames,
+	}
+	if *designs != "" {
+		for _, name := range strings.Split(*designs, ",") {
+			d, err := parseDesign(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			cfg.Designs = append(cfg.Designs, d)
+		}
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	rep := torture.Run(cfg)
+
+	fmt.Printf("torture: seed=%d duration=%v faults=%v\n", rep.Seed, *duration, *faults)
+	fmt.Printf("  epochs=%d ops=%d audits=%d\n", rep.Epochs, rep.Ops, rep.Audits)
+	fmt.Printf("  oom-errors=%d io-errors=%d oom-kills=%d\n", rep.OOMErrors, rep.IOErrors, rep.OOMKills)
+	fmt.Printf("  failpoints:\n")
+	silent := 0
+	for _, p := range rep.Failpoints {
+		fmt.Printf("    %-24s armed=%-5v hits=%-9d fires=%d\n", p.Name, p.Armed, p.Hits, p.Fires)
+		if *faults && p.Armed && p.Fires == 0 {
+			silent++
+		}
+	}
+
+	ok := true
+	if rep.Failed() {
+		ok = false
+		fmt.Printf("VIOLATIONS (%d):\n", len(rep.Violations))
+		for _, v := range rep.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	if silent > 0 {
+		ok = false
+		fmt.Printf("FAIL: %d armed failpoint(s) never fired — coverage regression, not a passing run\n", silent)
+	}
+	if !ok {
+		fmt.Printf("replay: go run ./cmd/torture -seed %d -duration %v -faults=%v\n", rep.Seed, *duration, *faults)
+		os.Exit(1)
+	}
+	fmt.Println("PASS")
+}
+
+func parseDesign(name string) (vm.Design, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "rwlock":
+		return vm.RWLock, nil
+	case "faultlock":
+		return vm.FaultLock, nil
+	case "hybrid":
+		return vm.Hybrid, nil
+	case "purercu":
+		return vm.PureRCU, nil
+	default:
+		return 0, fmt.Errorf("unknown design %q (want rwlock, faultlock, hybrid, or purercu)", name)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"bonsai/internal/rcu"
 )
@@ -55,6 +56,13 @@ func TestLockFreeLookupDuringInserts(t *testing.T) {
 		} else {
 			tr.Delete(k)
 		}
+	}
+	// On a fully loaded machine (packages test in parallel) the reader
+	// goroutines may not have been scheduled at all during the writer's
+	// burst; hold the window open until at least one lookup lands so
+	// the assertion below checks the race, not the scheduler.
+	for deadline := time.Now().Add(10 * time.Second); lookups.Load() == 0 && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
 	}
 	close(stop)
 	wg.Wait()

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzBonsaiTree drives the BONSAI tree with a byte-decoded operation
+// stream against a map oracle: after any sequence of inserts, deletes,
+// lookups, and floors, the tree must agree with the map on membership,
+// size, order, and the balance/ordering invariants Validate checks.
+func FuzzBonsaiTree(f *testing.F) {
+	f.Add([]byte{0, 1, 4, 1, 0, 2, 8, 2, 12, 3})
+	f.Add([]byte{})
+	f.Add([]byte{0, 5, 0, 5, 4, 5, 4, 5, 8, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree := New[uint64]()
+		oracle := make(map[uint64]uint64)
+		for i := 0; i+1 < len(data); i += 2 {
+			op, key := data[i]%4, uint64(data[i+1])
+			switch op {
+			case 0: // insert (value encodes the op index, so replacement is visible)
+				val := uint64(i)
+				_, existed := oracle[key]
+				if isNew := tree.Insert(key, val); isNew == existed {
+					t.Fatalf("op %d: Insert(%d) new=%v, oracle existed=%v", i, key, isNew, existed)
+				}
+				oracle[key] = val
+			case 1: // delete
+				_, existed := oracle[key]
+				if present := tree.Delete(key); present != existed {
+					t.Fatalf("op %d: Delete(%d) present=%v, oracle=%v", i, key, present, existed)
+				}
+				delete(oracle, key)
+			case 2: // lookup
+				got, ok := tree.Lookup(key)
+				want, existed := oracle[key]
+				if ok != existed || (ok && got != want) {
+					t.Fatalf("op %d: Lookup(%d) = %d,%v; oracle %d,%v", i, key, got, ok, want, existed)
+				}
+			default: // floor
+				fk, fv, ok := tree.Floor(key)
+				var wantK, wantV uint64
+				var wantOK bool
+				for k, v := range oracle {
+					if k <= key && (!wantOK || k > wantK) {
+						wantK, wantV, wantOK = k, v, true
+					}
+				}
+				if ok != wantOK || (ok && (fk != wantK || fv != wantV)) {
+					t.Fatalf("op %d: Floor(%d) = %d,%d,%v; oracle %d,%d,%v",
+						i, key, fk, fv, ok, wantK, wantV, wantOK)
+				}
+			}
+		}
+		if tree.Len() != len(oracle) {
+			t.Fatalf("Len() = %d, oracle has %d", tree.Len(), len(oracle))
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("tree invariants: %v", err)
+		}
+		keys := tree.Keys()
+		want := make([]uint64, 0, len(oracle))
+		for k := range oracle {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(keys) != len(want) {
+			t.Fatalf("Keys() has %d entries, want %d", len(keys), len(want))
+		}
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("Keys()[%d] = %d, want %d", i, keys[i], want[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package pagecache
+
+import (
+	"testing"
+
+	"bonsai/internal/physmem"
+	"bonsai/internal/rcu"
+)
+
+// FuzzRadixPages drives the cache's five-level radix tree with a
+// byte-decoded stream of fills, lookups, and drops against a set
+// oracle. Offsets are built as slot<<(pageShift+level*entryBits) so
+// the stream exercises every radix level, node creation on first
+// descent, and slot collisions.
+func FuzzRadixPages(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 2, 0, 0, 3, 0, 0, 2, 0, 0})
+	f.Add([]byte{0, 1, 1, 0, 2, 2, 0, 3, 3, 0, 4, 4, 3, 1, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		alloc := physmem.New(physmem.Config{Frames: 4096, CPUs: 1, Backing: true})
+		dom := rcu.NewDomain(rcu.Options{})
+		c := New(1, "fuzz.dat#1", alloc, dom, NewRegistry(alloc.NumFrames()))
+
+		oracle := make(map[uint64]bool) // resident page offsets
+		ops := 0
+		for i := 0; i+2 < len(data) && ops < 512; i, ops = i+3, ops+1 {
+			op := data[i] % 4
+			lvl := uint(data[i+1]) % levels
+			slot := uint64(data[i+2]) % 8
+			off := slot << (pageShift + lvl*entryBits)
+			switch op {
+			case 0, 1: // fill (or hit)
+				pg, err := c.FindOrCreate(0, off, func(physmem.Frame) {})
+				if err != nil {
+					t.Fatalf("op %d: FindOrCreate(%#x): %v", ops, off, err)
+				}
+				if pg.Offset() != off {
+					t.Fatalf("op %d: page offset %#x, want %#x", ops, pg.Offset(), off)
+				}
+				oracle[off] = true
+			case 2: // lookup
+				pg := c.Lookup(off)
+				if resident := oracle[off]; (pg != nil) != resident {
+					t.Fatalf("op %d: Lookup(%#x) = %v, oracle resident=%v", ops, off, pg, resident)
+				}
+				if pg != nil && pg.Offset() != off {
+					t.Fatalf("op %d: Lookup(%#x) returned page at %#x", ops, off, pg.Offset())
+				}
+			default: // drop the single page
+				dropped := c.Drop(off, off+physmem.PageSize)
+				want := 0
+				if oracle[off] {
+					want = 1
+				}
+				if dropped != want {
+					t.Fatalf("op %d: Drop(%#x) = %d, oracle %d", ops, off, dropped, want)
+				}
+				delete(oracle, off)
+			}
+		}
+		want := int64(len(oracle))
+		if got := c.Stats().Resident; got != want {
+			t.Fatalf("resident = %d, oracle has %d", got, want)
+		}
+		c.DropAll()
+		if got := c.Stats().Resident; got != 0 {
+			t.Fatalf("resident = %d after DropAll", got)
+		}
+		dom.Close()
+		if n := alloc.InUse(); n != 0 {
+			t.Fatalf("%d frames leaked", n)
+		}
+	})
+}

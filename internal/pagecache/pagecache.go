@@ -49,13 +49,43 @@
 package pagecache
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"bonsai/internal/fail"
 	"bonsai/internal/physmem"
 	"bonsai/internal/rcu"
 	"bonsai/internal/tlb"
+)
+
+// I/O error taxonomy. ErrIO is the base every simulated device error
+// wraps, so errors.Is(err, ErrIO) identifies any cache I/O failure.
+// The two writeback flavors model the split a real block layer forces
+// on the kernel:
+//
+//   - ErrWritebackIO is retryable: the write never reached the device,
+//     the page stays dirty and resident, and a later writeback (or the
+//     eviction scan) tries again. Nothing is lost.
+//   - ErrStickyIO is a sticky media failure: the page was cleaned but
+//     its contents did not reach the store, so the data is gone. The
+//     error latches on the cache and the next Writeback — the fsync of
+//     this system — reports it exactly once (errseq_t/AS_EIO
+//     semantics), because a caller that never hears about the loss
+//     would conclude its data was durable.
+var (
+	ErrIO          = errors.New("pagecache: I/O error")
+	ErrFillIO      = fmt.Errorf("read fill: %w", ErrIO)
+	ErrWritebackIO = fmt.Errorf("writeback (retryable): %w", ErrIO)
+	ErrStickyIO    = fmt.Errorf("writeback (sticky, data dropped): %w", ErrIO)
+)
+
+// Failpoints (armed only by fault injection; see internal/fail).
+var (
+	failFill     = fail.NewPoint("pagecache.fill")
+	failWBRetry  = fail.NewPoint("pagecache.wb-retryable")
+	failWBSticky = fail.NewPoint("pagecache.wb-sticky")
 )
 
 // Radix geometry: like the page-table tree, 512-way nodes over the file
@@ -193,6 +223,16 @@ func (p *Page) Mapped() int {
 	return len(p.rmap)
 }
 
+// MappedBy reports whether owner's PTE at vaddr is registered in the
+// page's reverse map (the audit and torture harnesses' rmap↔PTE
+// cross-check).
+func (p *Page) MappedBy(owner MappingOwner, vaddr uint64) bool {
+	p.rmapMu.Lock()
+	defer p.rmapMu.Unlock()
+	_, ok := p.rmap[mapping{owner, vaddr}]
+	return ok
+}
+
 // markDeletedLocked sets the deleted mark under the rmap mutex, so it
 // is ordered against AddMapping's check. The caller holds the cache
 // mutex (Drop and the reclaim scan's bookkeeping phase).
@@ -292,6 +332,11 @@ type Cache struct {
 	// Guarded by mu.
 	store map[uint64]*[physmem.PageSize]byte
 
+	// wbErr is the per-file sticky-error latch (errseq_t): set when a
+	// writeback drops data on a sticky device error, reported and
+	// cleared by the next Writeback call. Guarded by mu.
+	wbErr error
+
 	resident    atomic.Int64
 	hits        atomic.Uint64
 	misses      atomic.Uint64 // fills: faults that populated the cache
@@ -302,6 +347,10 @@ type Cache struct {
 	evictions   atomic.Uint64
 	evictAborts atomic.Uint64 // candidates that were refaulted mid-scan
 	refaults    atomic.Uint64 // fills of previously evicted pages
+
+	fillErrs     atomic.Uint64 // fills failed by an injected read error
+	wbErrsRetry  atomic.Uint64 // retryable writeback failures (page kept dirty)
+	wbErrsSticky atomic.Uint64 // sticky writeback failures (data dropped, latched)
 }
 
 // New returns an empty cache for the file with the given stable ID and
@@ -379,6 +428,14 @@ func (c *Cache) FindOrCreate(cpu int, off uint64, fill func(physmem.Frame)) (*Pa
 		c.coalesced.Add(1)
 		pg.touch()
 		return pg, nil
+	}
+	if failFill.Fire() {
+		// Injected read failure: the backing device could not deliver
+		// the page. Typed ErrFillIO so the VM layer reports it as an
+		// I/O fault (SIGBUS territory), never as memory exhaustion.
+		c.mu.Unlock()
+		c.fillErrs.Add(1)
+		return nil, ErrFillIO
 	}
 	frame, err := c.alloc.Alloc(cpu)
 	if err != nil {
@@ -493,17 +550,29 @@ func (c *Cache) DropAll() int { return c.Drop(0, MaxOffset) }
 // after the clean would be discarded by a later eviction). A real
 // kernel write-protects PTEs to clean mapped pages; in this system
 // mapped dirty pages are written back when they are reclaimed — whose
-// scan revokes the PTEs first — or once unmapped. It returns the
-// number of pages written back.
-func (c *Cache) Writeback(wb func(off uint64, frame physmem.Frame)) int {
+// scan revokes the PTEs first — or once unmapped.
+//
+// Writeback is this system's fsync: it returns the number of pages
+// written back and any device error owed to the caller — a retryable
+// failure from this pass (the page stays dirty for the next call), or
+// a sticky data-loss error latched by any earlier writeback, including
+// eviction's. A latched sticky error is reported exactly once and then
+// cleared, the kernel's errseq_t discipline: every fsync caller since
+// the error hears about it once, and none can miss a silent data drop.
+func (c *Cache) Writeback(wb func(off uint64, frame physmem.Frame)) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	written := 0
+	var retryErr error
 	c.walkLocked(c.root, func(_ *node, _ int, pg *Page) {
 		if pg.Mapped() > 0 {
 			return
 		}
-		if !c.writebackLocked(pg) {
+		wrote, err := c.writebackLocked(pg)
+		if err != nil && retryErr == nil && !errors.Is(err, ErrStickyIO) {
+			retryErr = err // sticky errors are latched in wbErr; report those below
+		}
+		if !wrote {
 			return
 		}
 		if wb != nil {
@@ -511,17 +580,38 @@ func (c *Cache) Writeback(wb func(off uint64, frame physmem.Frame)) int {
 		}
 		written++
 	})
-	return written
+	err := c.wbErr
+	c.wbErr = nil // reported once; the latch re-arms on the next sticky failure
+	if err == nil {
+		err = retryErr
+	}
+	return written, err
 }
 
 // writebackLocked cleans one page under the cache mutex, persisting
-// its contents into the store when frames are backed. Reports whether
-// the page was dirty.
-func (c *Cache) writebackLocked(pg *Page) bool {
+// its contents into the store when frames are backed. It reports
+// whether the page was written back, with the error taxonomy of the
+// package comment: on ErrWritebackIO the page is untouched (still
+// dirty, still resident — retry later); on ErrStickyIO the page was
+// cleaned but its contents dropped, and the cache's error latch is set
+// for the next Writeback to report.
+func (c *Cache) writebackLocked(pg *Page) (bool, error) {
+	if !pg.dirty.Load() {
+		return false, nil
+	}
+	if failWBRetry.Fire() {
+		c.wbErrsRetry.Add(1)
+		return false, ErrWritebackIO
+	}
 	if !pg.dirty.Swap(false) {
-		return false
+		return false, nil
 	}
 	c.dirtyPages.Add(-1)
+	if failWBSticky.Fire() {
+		c.wbErrsSticky.Add(1)
+		c.wbErr = ErrStickyIO
+		return false, ErrStickyIO
+	}
 	if c.alloc.Backed() {
 		if c.store == nil {
 			c.store = make(map[uint64]*[physmem.PageSize]byte)
@@ -534,7 +624,7 @@ func (c *Cache) writebackLocked(pg *Page) bool {
 		*buf = *c.alloc.Data(pg.frame)
 	}
 	c.writebacks.Add(1)
-	return true
+	return true, nil
 }
 
 // unlinkLocked clears the radix slot of off (the page must be resident;
@@ -671,7 +761,22 @@ func (c *Cache) ReclaimScan(batch int, force bool, g *tlb.Gather) (evicted, writ
 		// will fail its deleted check (it retries on a fresh page).
 		pg.deleted.Store(true)
 		pg.rmapMu.Unlock()
-		if c.writebackLocked(pg) {
+		wrote, werr := c.writebackLocked(pg)
+		if werr != nil && !errors.Is(werr, ErrStickyIO) {
+			// Retryable writeback failure: the page is still dirty and
+			// must not be evicted (its contents exist nowhere else).
+			// Revert the deleted mark — safe under the cache mutex, which
+			// excludes fills; a faulter that transiently observed the
+			// mark just retries and finds the page live again. A sticky
+			// failure takes the other branch: the page was cleaned, the
+			// data is gone either way, so eviction proceeds and the latch
+			// carries the loss to the next Writeback.
+			pg.rmapMu.Lock()
+			pg.deleted.Store(false)
+			pg.rmapMu.Unlock()
+			continue
+		}
+		if wrote {
 			written++
 		}
 		c.unlinkLocked(pg.off)
@@ -740,6 +845,66 @@ func (c *Cache) walkLocked(n *node, visit func(n *node, slot int, pg *Page)) {
 	}
 }
 
+// Audit cross-checks the cache's ownership invariants under the cache
+// mutex and returns every violation found, joined. The caller must
+// have quiesced the machine: no fault, zap, fork, or reclaim in
+// flight, and the RCU domain flushed, so every revoked mapping's frame
+// reference has been retired (mid-flight, references legitimately
+// exceed the rmap's count). resolve, when non-nil, maps one rmap entry
+// back to the frame the owner's page table actually holds at vaddr —
+// the VM layer passes a page-table walk — closing the rmap↔PTE loop in
+// the direction the zap paths maintain.
+//
+// Invariants checked, per resident page: not marked deleted while
+// linked; its frame allocated, and registered to this page in the
+// frame registry; frame references exactly 1 (the cache's own) plus
+// one per rmap entry; and every rmap entry resolving to this frame.
+// The resident counter must match the linked-page count.
+func (c *Cache) Audit(resolve func(owner MappingOwner, vaddr uint64) (physmem.Frame, bool)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var errs []error
+	linked := int64(0)
+	c.walkLocked(c.root, func(_ *node, _ int, pg *Page) {
+		linked++
+		if pg.deleted.Load() {
+			errs = append(errs, fmt.Errorf("page %#x: marked deleted but still linked", pg.off))
+			return
+		}
+		if !c.alloc.Allocated(pg.frame) {
+			errs = append(errs, fmt.Errorf("page %#x: frame %d is not allocated", pg.off, pg.frame))
+			return
+		}
+		if c.reg != nil {
+			if got := c.reg.Lookup(pg.frame); got != pg {
+				errs = append(errs, fmt.Errorf("page %#x: frame registry disagrees for frame %d", pg.off, pg.frame))
+			}
+		}
+		pg.rmapMu.Lock()
+		maps := make([]mapping, 0, len(pg.rmap))
+		for m := range pg.rmap {
+			maps = append(maps, m)
+		}
+		pg.rmapMu.Unlock()
+		if refs, want := c.alloc.Refs(pg.frame), int32(1+len(maps)); refs != want {
+			errs = append(errs, fmt.Errorf("page %#x: frame %d holds %d references, want %d (cache + %d mappings)",
+				pg.off, pg.frame, refs, want, len(maps)))
+		}
+		if resolve != nil {
+			for _, m := range maps {
+				if f, ok := resolve(m.owner, m.vaddr); !ok || f != pg.frame {
+					errs = append(errs, fmt.Errorf("page %#x: rmap entry %#x resolves to frame %d (present=%v), want %d",
+						pg.off, m.vaddr, f, ok, pg.frame))
+				}
+			}
+		}
+	})
+	if got := c.resident.Load(); got != linked {
+		errs = append(errs, fmt.Errorf("resident counter %d, but %d pages linked", got, linked))
+	}
+	return errors.Join(errs...)
+}
+
 // Stats is a snapshot of cache counters.
 type Stats struct {
 	Resident    int64  // pages currently cached
@@ -752,6 +917,10 @@ type Stats struct {
 	Evictions   uint64 // pages reclaimed by ReclaimScan
 	EvictAborts uint64 // eviction candidates refaulted mid-scan
 	Refaults    uint64 // fills of previously evicted pages
+
+	FillErrs         uint64 // fills failed by an injected read error
+	WritebackRetries uint64 // retryable writeback failures (page kept dirty)
+	WritebackSticky  uint64 // sticky writeback failures (data dropped, latched)
 }
 
 // Add accumulates o into s (for aggregating per-file caches).
@@ -766,6 +935,9 @@ func (s *Stats) Add(o Stats) {
 	s.Evictions += o.Evictions
 	s.EvictAborts += o.EvictAborts
 	s.Refaults += o.Refaults
+	s.FillErrs += o.FillErrs
+	s.WritebackRetries += o.WritebackRetries
+	s.WritebackSticky += o.WritebackSticky
 }
 
 // Stats returns a snapshot of the cache's counters.
@@ -781,5 +953,9 @@ func (c *Cache) Stats() Stats {
 		Evictions:   c.evictions.Load(),
 		EvictAborts: c.evictAborts.Load(),
 		Refaults:    c.refaults.Load(),
+
+		FillErrs:         c.fillErrs.Load(),
+		WritebackRetries: c.wbErrsRetry.Load(),
+		WritebackSticky:  c.wbErrsSticky.Load(),
 	}
 }

@@ -150,7 +150,10 @@ func TestDirtyWriteback(t *testing.T) {
 		t.Fatalf("dirty=%d, want 2", st.DirtyPages)
 	}
 	var offs []uint64
-	n := c.Writeback(func(off uint64, _ physmem.Frame) { offs = append(offs, off) })
+	n, err := c.Writeback(func(off uint64, _ physmem.Frame) { offs = append(offs, off) })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 2 || len(offs) != 2 {
 		t.Fatalf("writeback cleaned %d (%v)", n, offs)
 	}
@@ -158,8 +161,8 @@ func TestDirtyWriteback(t *testing.T) {
 	if st.DirtyPages != 0 || st.Writebacks != 2 {
 		t.Fatalf("stats %+v", st)
 	}
-	if c.Writeback(nil) != 0 {
-		t.Fatal("second writeback found dirty pages")
+	if n, err := c.Writeback(nil); n != 0 || err != nil {
+		t.Fatalf("second writeback: %d pages, err %v", n, err)
 	}
 }
 

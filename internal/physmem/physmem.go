@@ -26,7 +26,19 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"bonsai/internal/fail"
 	"bonsai/internal/locks"
+)
+
+// Failpoints (armed only by the torture harness and fault-injection
+// tests; see internal/fail): failAlloc makes Alloc report pool
+// exhaustion outright — the shortfall the VM layer must answer with
+// direct reclaim and, eventually, a typed ErrNoMemory — and failDrain
+// makes the magazine steal come back empty-handed, starving the
+// last-resort path that normally hides stranded frames.
+var (
+	failAlloc = fail.NewPoint("physmem.alloc")
+	failDrain = fail.NewPoint("physmem.drain")
 )
 
 // PageSize is the size of a physical frame in bytes (x86-64 small page).
@@ -181,6 +193,10 @@ func (a *Allocator) Allocated(f Frame) bool {
 // ErrOutOfMemory, so the error means the pool is genuinely exhausted —
 // the condition the VM layer answers with direct reclaim.
 func (a *Allocator) Alloc(cpu int) (Frame, error) {
+	if failAlloc.Fire() {
+		a.allocFailures.Add(1)
+		return NoFrame, ErrOutOfMemory
+	}
 	m := &a.mags[cpu%len(a.mags)]
 	f, err := a.popMagazine(m)
 	if err != nil {
@@ -255,6 +271,9 @@ func (a *Allocator) refillLocked(m *magazine) error {
 // as a last resort, so frames stranded in an idle CPU's magazine can
 // never cause a spurious ErrOutOfMemory.
 func (a *Allocator) DrainMagazines() int {
+	if failDrain.Fire() {
+		return 0
+	}
 	var stolen []Frame
 	for i := range a.mags {
 		m := &a.mags[i]

@@ -36,7 +36,15 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bonsai/internal/fail"
 )
+
+// failGPDelay stretches grace periods (armed only by fault injection;
+// see internal/fail): every deferred free and zap retirement behind the
+// stalled epoch backs up, the backlog the DeferOn backpressure path
+// exists to absorb.
+var failGPDelay = fail.NewPoint("rcu.gp-delay")
 
 // cacheLine is the assumed cache-line size used to pad per-reader and
 // per-shard state so concurrent CPUs never share a line (the property
@@ -371,6 +379,11 @@ func (d *Domain) gracePeriodLocked() {
 	start := time.Now()
 	target := d.epoch.Add(1) // readers that observe >= target started after us
 	d.gracePeriods.Add(1)
+	if delay := failGPDelay.FireDelay(); delay > 0 {
+		// Injected grace-period stall: the detector (or a synchronous
+		// waiter) sits on the epoch while callbacks pile up behind it.
+		time.Sleep(delay)
+	}
 
 	d.readersMu.Lock()
 	readers := make([]*Reader, len(d.readers))

@@ -1,0 +1,37 @@
+package reclaim
+
+// Failure injection for the direct-reclaim path. Serial only: the
+// failpoint registry is process-global.
+
+import (
+	"testing"
+
+	"bonsai/internal/fail"
+)
+
+// TestInjectedStallFailsDirectReclaim: an armed reclaim.stall makes
+// DirectReclaim report zero progress even though the pool has free
+// frames — the verdict that drives the VM layer's retry budget toward
+// ErrNoMemory. Disarmed, the same call reports progress again.
+func TestInjectedStallFailsDirectReclaim(t *testing.T) {
+	defer fail.DisableAll()
+	alloc, _, r, c := newTestMachine(t, 64, 0, 0)
+	fill(t, r, c, 8)
+	if alloc.FreeFrames() == 0 {
+		t.Fatal("setup: pool unexpectedly empty")
+	}
+	if err := fail.Enable(6, "reclaim.stall", fail.Config{OneIn: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if r.DirectReclaim() {
+		t.Fatal("DirectReclaim reported progress through an injected stall")
+	}
+	st := r.Stats()
+	if st.InjectedStalls != 1 {
+		t.Fatalf("InjectedStalls = %d, want 1", st.InjectedStalls)
+	}
+	fail.DisableAll()
+	if !r.DirectReclaim() {
+		t.Fatal("DirectReclaim found no progress with free frames available")
+	}
+}

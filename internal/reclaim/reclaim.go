@@ -31,11 +31,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bonsai/internal/fail"
 	"bonsai/internal/pagecache"
 	"bonsai/internal/physmem"
 	"bonsai/internal/rcu"
 	"bonsai/internal/tlb"
 )
+
+// failStall makes a direct-reclaim run report zero progress (armed
+// only by fault injection; see internal/fail) — the scan found nothing
+// evictable, every cache cold and pinned — which is exactly the
+// verdict that drives the VM layer's no-progress absorption, its retry
+// budget, and ultimately the typed ErrNoMemory unwind.
+var failStall = fail.NewPoint("reclaim.stall")
 
 // Config tunes a Reclaimer.
 type Config struct {
@@ -82,6 +90,7 @@ type Reclaimer struct {
 	directEvicted atomic.Uint64
 	writebacks    atomic.Uint64
 	scanPasses    atomic.Uint64
+	stalls        atomic.Uint64
 }
 
 // New returns a running Reclaimer: its background goroutine is parked
@@ -128,6 +137,16 @@ func (r *Reclaimer) Close() {
 	r.scanMu.Lock() // any straggling direct scan has finished
 	r.scanMu.Unlock()
 	r.dom.Unregister(r.rd)
+}
+
+// Quiesce runs fn with the scan lock held: no eviction scan (kswapd or
+// direct) starts or is in flight while fn runs. Consistency audits use
+// it — a scan's revocation and bookkeeping phases are separated by
+// design, so only a scan-free window shows settled rmap state.
+func (r *Reclaimer) Quiesce(fn func()) {
+	r.scanMu.Lock()
+	defer r.scanMu.Unlock()
+	fn()
 }
 
 // kswapd is the background reclaimer: woken by the allocator's
@@ -184,6 +203,10 @@ func (r *Reclaimer) kswapd() {
 // page is gone or pinned by a mid-scan refault.
 func (r *Reclaimer) DirectReclaim() bool {
 	r.directRuns.Add(1)
+	if failStall.Fire() {
+		r.stalls.Add(1)
+		return false
+	}
 	// A failed allocation needs a handful of frames, not a purge:
 	// over-evicting here just converts other spaces' resident sets into
 	// refaults (the clock hand already spreads successive scans).
@@ -282,22 +305,24 @@ func (r *Reclaimer) scanOnce(caches []*pagecache.Cache, target int, force bool, 
 
 // Stats is a snapshot of reclaim activity.
 type Stats struct {
-	KswapdCycles  uint64 // background wake-ups that found pressure
-	KswapdEvicted uint64 // pages evicted by the background reclaimer
-	DirectRuns    uint64 // direct-reclaim invocations (failed allocations)
-	DirectEvicted uint64 // pages evicted by direct reclaim
-	Writebacks    uint64 // dirty pages written back before eviction
-	ScanPasses    uint64 // clock passes over the cache rotation
+	KswapdCycles   uint64 // background wake-ups that found pressure
+	KswapdEvicted  uint64 // pages evicted by the background reclaimer
+	DirectRuns     uint64 // direct-reclaim invocations (failed allocations)
+	DirectEvicted  uint64 // pages evicted by direct reclaim
+	Writebacks     uint64 // dirty pages written back before eviction
+	ScanPasses     uint64 // clock passes over the cache rotation
+	InjectedStalls uint64 // direct-reclaim runs failed by the stall failpoint
 }
 
 // Stats returns a snapshot of the reclaimer's counters.
 func (r *Reclaimer) Stats() Stats {
 	return Stats{
-		KswapdCycles:  r.kswapdCycles.Load(),
-		KswapdEvicted: r.kswapdEvicted.Load(),
-		DirectRuns:    r.directRuns.Load(),
-		DirectEvicted: r.directEvicted.Load(),
-		Writebacks:    r.writebacks.Load(),
-		ScanPasses:    r.scanPasses.Load(),
+		KswapdCycles:   r.kswapdCycles.Load(),
+		KswapdEvicted:  r.kswapdEvicted.Load(),
+		DirectRuns:     r.directRuns.Load(),
+		DirectEvicted:  r.directEvicted.Load(),
+		Writebacks:     r.writebacks.Load(),
+		ScanPasses:     r.scanPasses.Load(),
+		InjectedStalls: r.stalls.Load(),
 	}
 }

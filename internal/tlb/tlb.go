@@ -35,9 +35,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bonsai/internal/fail"
 	"bonsai/internal/physmem"
 	"bonsai/internal/rcu"
 )
+
+// failFlushDelay inflates a flush's shootdown charge (armed only by
+// fault injection; see internal/fail) — a straggling core sitting on
+// the invalidation acknowledgement. The spin runs inside whatever
+// exclusion the zapping caller holds, so the stall propagates exactly
+// the way a real slow IPI round would.
+var failFlushDelay = fail.NewPoint("tlb.flush-delay")
 
 // CostModel parameterizes the per-flush shootdown charge, mirroring
 // internal/sim's analytical model: a fixed dispatch cost plus a cost
@@ -152,6 +160,9 @@ func (g *Gather) Flush() {
 		g.d.flushes.Add(1)
 		g.d.pages.Add(uint64(g.pages))
 		spinWait(g.d.cost)
+		if delay := failFlushDelay.FireDelay(); delay > 0 {
+			spinWait(delay)
+		}
 		g.pages = 0
 		g.lo, g.hi = 0, 0
 	}

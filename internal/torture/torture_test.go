@@ -1,0 +1,56 @@
+package torture
+
+import (
+	"testing"
+	"time"
+
+	"bonsai/internal/vm"
+)
+
+// TestSmokeWithFaults is the in-tree slice of the CI torture gate: a
+// short churn of two designs (one lock-based, one RCU) under the full
+// fault schedule must end with zero violations, zero leaks, and
+// meaningful coverage.
+func TestSmokeWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture smoke needs a few seconds")
+	}
+	rep := Run(Config{
+		Seed:     42,
+		Duration: 4 * time.Second,
+		Designs:  []vm.Design{vm.RWLock, vm.PureRCU},
+		Faults:   true,
+		Logf:     t.Logf,
+	})
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Epochs == 0 || rep.Ops == 0 || rep.Audits == 0 {
+		t.Fatalf("no work done: %+v", rep)
+	}
+	t.Logf("epochs=%d ops=%d audits=%d oom=%d io=%d kills=%d",
+		rep.Epochs, rep.Ops, rep.Audits, rep.OOMErrors, rep.IOErrors, rep.OOMKills)
+	for _, p := range rep.Failpoints {
+		t.Logf("failpoint %s: hits=%d fires=%d", p.Name, p.Hits, p.Fires)
+	}
+}
+
+// TestSmokeNoFaults runs the same churn with injection off: any I/O
+// error or violation is then a real bug, not torture weather.
+func TestSmokeNoFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture smoke needs a few seconds")
+	}
+	rep := Run(Config{
+		Seed:     7,
+		Duration: 2 * time.Second,
+		Designs:  []vm.Design{vm.Hybrid},
+		Faults:   false,
+	})
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.IOErrors != 0 {
+		t.Errorf("injection off but %d I/O errors surfaced", rep.IOErrors)
+	}
+}

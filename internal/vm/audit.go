@@ -1,0 +1,148 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"bonsai/internal/pagecache"
+	"bonsai/internal/pagetable"
+	"bonsai/internal/physmem"
+	"bonsai/internal/vma"
+)
+
+// AuditPageCaches cross-checks every page cache in the family against
+// the page tables, in both directions:
+//
+//   - cache → PTE: each resident page's reverse-map entries must
+//     resolve, through the owning space's page-table walk, to the
+//     page's frame (plus the per-page invariants pagecache.Audit
+//     checks: frame allocated, registry agreement, reference count =
+//     cache + mappings);
+//   - PTE → cache: each present PTE inside this space's file-backed
+//     regions must be consistent with the frame registry — a Shared
+//     mapping must map a live, rmap-registered cache page; a Private
+//     one may map a COW copy instead, but if its frame is a cache
+//     frame the rmap must know about it.
+//
+// The machine must be quiesced: no fault, mapping operation, fork, or
+// reclaim scan in flight on any family member, and the RCU domain
+// flushed (torture's audit phase stops the world first). Under
+// concurrency the checks would report false inconsistencies — a fault
+// mid-install holds references the walk cannot see yet.
+func (as *AddressSpace) AuditPageCaches() error {
+	resolve := func(owner pagecache.MappingOwner, vaddr uint64) (physmem.Frame, bool) {
+		space, ok := owner.(*AddressSpace)
+		if !ok {
+			return 0, false
+		}
+		pte, ok := space.tables.Walk(vaddr)
+		if !ok {
+			return 0, false
+		}
+		return pagetable.PTEFrame(pte), true
+	}
+	var errs []error
+	as.fam.filesMu.Lock()
+	files := make([]*vma.File, len(as.fam.files))
+	copy(files, as.fam.files)
+	as.fam.filesMu.Unlock()
+	for _, f := range files {
+		if c := f.PageCache(); c != nil {
+			if err := c.Audit(resolve); err != nil {
+				errs = append(errs, fmt.Errorf("cache %s: %w", c.Label(), err))
+			}
+		}
+	}
+	if err := as.auditPTEs(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// auditPTEs is the PTE → cache direction: walk this space's
+// file-backed regions and validate every present translation against
+// the frame registry. Same quiescence requirement as AuditPageCaches.
+func (as *AddressSpace) auditPTEs() error {
+	var errs []error
+	for _, r := range as.Regions() {
+		if r.File == nil {
+			continue
+		}
+		shared := r.Flags&vma.Shared != 0
+		for page := r.Start; page < r.End; page += PageSize {
+			pte, ok := as.tables.Walk(page)
+			if !ok {
+				continue
+			}
+			frame := pagetable.PTEFrame(pte)
+			pg := as.fam.reg.Lookup(frame)
+			if pg == nil {
+				if shared {
+					errs = append(errs, fmt.Errorf("shared PTE %#x: frame %d is not a registered cache page", page, frame))
+				}
+				// Private: a COW copy owns its own anonymous frame.
+				continue
+			}
+			if pg.Deleted() {
+				errs = append(errs, fmt.Errorf("PTE %#x: maps frame %d of a deleted cache page", page, frame))
+				continue
+			}
+			if !pg.MappedBy(as, page) {
+				errs = append(errs, fmt.Errorf("PTE %#x: maps cache frame %d but is missing from the page's reverse map", page, frame))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// QuiesceReclaim runs fn while the machine's eviction scans are held
+// off and the RCU domain's deferred work (evicted frames' releases,
+// revoked mappings' reference drops) has drained. It is the bracket
+// AuditPageCaches needs: with application operations also stopped, fn
+// observes settled rmap, refcount, and residency state — a scan caught
+// between its revocation and bookkeeping phases would otherwise show
+// rmap entries whose PTEs are already gone.
+func (as *AddressSpace) QuiesceReclaim(fn func()) {
+	as.fam.rec.Quiesce(func() {
+		as.dom.Flush()
+		fn()
+	})
+}
+
+// AuditTranslation checks the frame-generation invariant batched
+// shootdown relies on (PR 5): a frame observed through a present PTE
+// inside an RCU read-side critical section must stay allocated, with a
+// stable generation, until the section exits — no zap, eviction, or
+// COW break may let it reach the free list while a lock-free walker
+// could still be dereferencing it. Safe to call concurrently with any
+// workload; returns nil when the page is simply not mapped.
+func (c *CPU) AuditTranslation(addr uint64) error {
+	as := c.as
+	if addr >= MaxAddress {
+		return nil
+	}
+	page := pageDown(addr)
+	c.rd.Lock()
+	defer c.rd.Unlock()
+	pte, ok := as.tables.Walk(page)
+	if !ok {
+		return nil
+	}
+	frame := pagetable.PTEFrame(pte)
+	if !as.alloc.Allocated(frame) {
+		return fmt.Errorf("vm: audit: PTE %#x maps frame %d, already free inside a read section", page, frame)
+	}
+	gen := as.alloc.Gen(frame)
+	// Give a racing zap a scheduling window: if the frame's release were
+	// not deferred past this read section, the recheck would see a freed
+	// or recycled (generation-bumped) frame.
+	runtime.Gosched()
+	if !as.alloc.Allocated(frame) {
+		return fmt.Errorf("vm: audit: frame %d freed while a read section held a translation to it", frame)
+	}
+	if g := as.alloc.Gen(frame); g != gen {
+		return fmt.Errorf("vm: audit: frame %d recycled (generation %d→%d) while a read section held a translation to it", frame, gen, g)
+	}
+	return nil
+}

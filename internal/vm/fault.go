@@ -38,21 +38,56 @@ func (c *CPU) Fault(addr uint64, write bool) error {
 	}
 	page := pageDown(addr)
 	as.stats.faults.Add(1)
-	for {
-		err := c.fault(page, write)
-		if !errors.Is(err, ErrFrameShortage) {
-			return err
-		}
-		as.stats.reclaimRetries.Add(1)
-		if !as.reclaimForShortage() {
-			return fmt.Errorf("%w: frame pool exhausted and nothing evictable", ErrNoMemory)
-		}
-	}
+	return as.retryShortage(func() error { return c.fault(page, write) })
 }
 
 // oomRetries bounds consecutive no-progress direct-reclaim attempts
 // before an operation reports ErrNoMemory.
 const oomRetries = 16
+
+// shortageRetryBudget bounds how many times one operation may answer
+// ErrFrameShortage with a successful direct reclaim and retry. Without
+// it the retry loop is unbounded: DirectReclaim reports progress
+// whenever free frames exist (a concurrent reclaimer's work counts),
+// so an operation whose own allocations keep failing — competing
+// faulters winning every freed frame, or an injected allocation fault
+// — would spin forever instead of surfacing ErrNoMemory. The budget is
+// generous: a legitimately thrashing operation needs a handful of
+// retries, not sixty-four.
+const shortageRetryBudget = 64
+
+// retryShortage runs op under the VM's graceful-degradation ladder:
+//
+//  1. op fails with ErrFrameShortage → direct reclaim, retry — up to
+//     shortageRetryBudget times, each retry backed by a reclaim run
+//     that reported progress;
+//  2. budget exhausted (or reclaim out of progress) → the family's
+//     OOM killer of last resort reaps the largest sibling and the
+//     budget resets, once;
+//  3. nothing left → typed ErrNoMemory, with op fully unwound (its
+//     contract: a shortage failure leaks nothing and holds nothing).
+//
+// Any non-shortage outcome — success, ErrSegv, I/O errors — returns
+// immediately.
+func (as *AddressSpace) retryShortage(op func() error) error {
+	kills := 0
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if !errors.Is(err, ErrFrameShortage) {
+			return err
+		}
+		as.stats.reclaimRetries.Add(1)
+		if attempt < shortageRetryBudget && as.reclaimForShortage() {
+			continue
+		}
+		if kills == 0 && as.oomKill() {
+			kills++
+			attempt = -1 // fresh budget against the reaped memory
+			continue
+		}
+		return fmt.Errorf("%w: frame pool exhausted after %d attempts and nothing evictable", ErrNoMemory, attempt+1)
+	}
+}
 
 // reclaimForShortage answers a frame-allocation failure with direct
 // reclaim, absorbing transient no-progress verdicts: under thrash,

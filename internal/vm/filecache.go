@@ -1,7 +1,6 @@
 package vm
 
 import (
-	"errors"
 	"fmt"
 
 	"bonsai/internal/pagecache"
@@ -74,15 +73,16 @@ func (fam *family) dropCaches() {
 // Like Fault and Fork, it answers a transient frame shortage (its
 // page-table root allocation) with direct reclaim and a retry.
 func (as *AddressSpace) NewSibling() (*AddressSpace, error) {
-	for {
-		sib, err := newMember(as.cfg, as.fam)
-		if !errors.Is(err, ErrFrameShortage) {
-			return sib, err
-		}
-		if !as.reclaimForShortage() {
-			return nil, fmt.Errorf("%w: frame pool exhausted and nothing evictable", ErrNoMemory)
-		}
+	var sib *AddressSpace
+	err := as.retryShortage(func() error {
+		var err error
+		sib, err = newMember(as.cfg, as.fam)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
+	return sib, nil
 }
 
 // PageCacheStats aggregates the page-cache counters across every file

@@ -1,9 +1,6 @@
 package vm
 
 import (
-	"errors"
-	"fmt"
-
 	"bonsai/internal/pagecache"
 	"bonsai/internal/pagetable"
 	"bonsai/internal/physmem"
@@ -33,15 +30,16 @@ import (
 // released — reclaim never runs under the whole-space lock), direct
 // reclaim evicts page-cache pages, and the fork retries.
 func (as *AddressSpace) Fork() (*AddressSpace, error) {
-	for {
-		child, err := as.forkOnce()
-		if !errors.Is(err, ErrFrameShortage) {
-			return child, err
-		}
-		if !as.reclaimForShortage() {
-			return nil, fmt.Errorf("%w: frame pool exhausted and nothing evictable", ErrNoMemory)
-		}
+	var child *AddressSpace
+	err := as.retryShortage(func() error {
+		var err error
+		child, err = as.forkOnce()
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
+	return child, nil
 }
 
 // forkOnce is one fork attempt; a frame shortage surfaces as
@@ -130,6 +128,7 @@ func (as *AddressSpace) forkOnce() (*AddressSpace, error) {
 		child.munmapLocked(0, MaxAddress)
 		cg.unlock()
 		child.tables.ReleaseRoot(child.mapCPU)
+		as.fam.removeMember(child)
 		as.fam.live.Add(-1)
 		as.fam.releaseMember(child.member)
 		return nil, oomError(cloneErr)

@@ -155,6 +155,15 @@ func TestTLBGatherFlushInvariant(t *testing.T) {
 		}
 
 		time.Sleep(duration)
+		// On a fully loaded machine the fixed window can elapse before
+		// every role has run; hold it open until the storm has
+		// demonstrably exercised the race (zaps, faults, audits, and at
+		// least one paid flush) or a generous deadline passes.
+		for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(5 * time.Millisecond) {
+			if zapOK.Load() > 0 && faultOK.Load() > 0 && audits.Load() > 0 && as.Stats().TLBFlushes > 0 {
+				break
+			}
+		}
 		close(stop)
 		wg.Wait()
 		if t.Failed() {

@@ -97,6 +97,13 @@ type Stats struct {
 	PageCacheEvictAborts uint64 // eviction candidates refaulted mid-scan
 	PageCacheRefaults    uint64 // fills of previously evicted pages
 	PageCacheWritebacks  uint64 // dirty pages cleaned (writeback scans + pre-eviction)
+
+	// Failure-injection and degradation counters (see internal/fail and
+	// the README's failure model).
+	PageCacheFillErrs         uint64 // fills failed by injected read errors
+	PageCacheWritebackRetries uint64 // retryable writeback failures (pages kept dirty)
+	PageCacheWritebackSticky  uint64 // sticky writeback failures (data dropped, latched)
+	OOMKills                  uint64 // killer-of-last-resort invocations, family-wide
 }
 
 // Retries returns the total slow-path retries.
@@ -131,6 +138,11 @@ func (as *AddressSpace) Stats() Stats {
 		PageCacheEvictAborts: pc.EvictAborts,
 		PageCacheRefaults:    pc.Refaults,
 		PageCacheWritebacks:  pc.Writebacks,
+
+		PageCacheFillErrs:         pc.FillErrs,
+		PageCacheWritebackRetries: pc.WritebackRetries,
+		PageCacheWritebackSticky:  pc.WritebackSticky,
+		OOMKills:                  as.fam.oomKills.Load(),
 
 		EvictUnmaps:    as.stats.evictUnmaps.Load(),
 		ReclaimRetries: as.stats.reclaimRetries.Load(),

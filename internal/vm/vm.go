@@ -103,10 +103,15 @@ var (
 
 // oomError types an allocation failure: frame-pool exhaustion becomes
 // the retryable ErrFrameShortage (the raw physmem error never escapes
-// mid-operation), anything else the terminal ErrNoMemory.
+// mid-operation), a page-cache I/O error propagates as itself (it is
+// not a memory condition — retrying with reclaim cannot cure a failing
+// disk), anything else the terminal ErrNoMemory.
 func oomError(err error) error {
 	if errors.Is(err, physmem.ErrOutOfMemory) {
 		return ErrFrameShortage
+	}
+	if errors.Is(err, pagecache.ErrIO) {
+		return err
 	}
 	return ErrNoMemory
 }
@@ -272,9 +277,20 @@ type family struct {
 	// allocator's magazines. A slot returns to the free list when its
 	// address space is fully closed (or a fork attempt unwinds), so
 	// retried forks and churning siblings cannot exhaust MaxFamily.
+	// It also guards members, the set of live address spaces the
+	// OOM-killer path scans for its largest victim.
 	membersMu sync.Mutex
 	freeSlots []int
 	nextSlot  int
+	members   map[*AddressSpace]struct{}
+
+	// oomMu serializes killer-of-last-resort invocations: one exhausted
+	// operation reaps at a time, and the ones queued behind it re-run
+	// their allocation against whatever the kill freed before picking
+	// another victim. oomKiller is written under it too (SetOOMKiller).
+	oomMu     sync.Mutex
+	oomKiller func(victim *AddressSpace) bool
+	oomKills  atomic.Uint64
 
 	// reg maps frames back to resident cache pages, for the zap and
 	// COW-break paths' rmap bookkeeping.
@@ -326,7 +342,7 @@ func New(cfg Config) (*AddressSpace, error) {
 	if cfg.HighWater <= cfg.LowWater {
 		cfg.HighWater = 2 * cfg.LowWater
 	}
-	fam := &family{max: int32(cfg.MaxFamily)}
+	fam := &family{max: int32(cfg.MaxFamily), members: make(map[*AddressSpace]struct{})}
 	fam.alloc = physmem.New(physmem.Config{
 		Frames: cfg.Frames,
 		// Each family member gets a private partition of magazines:
@@ -384,6 +400,78 @@ func (fam *family) releaseMember(m int) {
 	fam.membersMu.Unlock()
 }
 
+// removeMember drops a space from the live-member set (fully closed,
+// or an unwound fork attempt) so the OOM killer can no longer pick it.
+func (fam *family) removeMember(as *AddressSpace) {
+	fam.membersMu.Lock()
+	delete(fam.members, as)
+	fam.membersMu.Unlock()
+}
+
+// SetOOMKiller installs the family's killer of last resort. When an
+// operation exhausts its ErrFrameShortage retry budget and a final
+// direct reclaim still makes no progress, the VM picks the live family
+// member with the most mapped pages (excluding the caller) and hands
+// it to kill, which must either release that space's memory —
+// typically by Closing it, which requires that no operation on the
+// victim is in flight, a guarantee only the embedding application can
+// make — and return true, or decline with false. On true the failed
+// operation retries once with a fresh budget; on false (or with no
+// killer installed) it returns ErrNoMemory. The killer applies
+// family-wide: any member's exhausted operation may invoke it.
+func (as *AddressSpace) SetOOMKiller(kill func(victim *AddressSpace) bool) {
+	as.fam.oomMu.Lock()
+	as.fam.oomKiller = kill
+	as.fam.oomMu.Unlock()
+}
+
+// LivePages returns the number of pages currently mapped in this
+// address space — the OOM victim-selection badness score.
+func (as *AddressSpace) LivePages() uint64 {
+	return as.stats.pagesMapped.Load() - as.stats.pagesUnmapped.Load()
+}
+
+// largestVictim picks the live member with the most mapped pages,
+// excluding the caller (an operation never reaps its own address
+// space out from under itself).
+func (fam *family) largestVictim(except *AddressSpace) *AddressSpace {
+	fam.membersMu.Lock()
+	defer fam.membersMu.Unlock()
+	var victim *AddressSpace
+	var most uint64
+	for m := range fam.members {
+		if m == except {
+			continue
+		}
+		if n := m.LivePages(); victim == nil || n > most {
+			victim, most = m, n
+		}
+	}
+	return victim
+}
+
+// oomKill runs the killer of last resort on behalf of an operation
+// whose retry budget is exhausted, reporting whether it freed memory
+// worth one more retry. Serialized on oomMu so concurrent exhausted
+// operations reap one victim, not one each; a kill is followed by a
+// domain flush so the reaped space's deferred frame frees are
+// allocatable before the caller retries.
+func (as *AddressSpace) oomKill() bool {
+	fam := as.fam
+	fam.oomMu.Lock()
+	defer fam.oomMu.Unlock()
+	if fam.oomKiller == nil {
+		return false
+	}
+	victim := fam.largestVictim(as)
+	if victim == nil || !fam.oomKiller(victim) {
+		return false
+	}
+	fam.oomKills.Add(1)
+	fam.dom.Flush()
+	return true
+}
+
 // newMember builds an address space inside a family (either the
 // original via New, a child via Fork, or a sibling process).
 func newMember(cfg Config, fam *family) (*AddressSpace, error) {
@@ -423,6 +511,9 @@ func newMember(cfg Config, fam *family) (*AddressSpace, error) {
 		// maintaining it would make every fault write a shared line.
 		as.mmapCacheOn = !cfg.Design.UsesRCU()
 	}
+	fam.membersMu.Lock()
+	fam.members[as] = struct{}{}
+	fam.membersMu.Unlock()
 	return as, nil
 }
 
@@ -468,6 +559,7 @@ func (as *AddressSpace) Close() error {
 	as.munmapLocked(0, MaxAddress)
 	mg.unlock()
 	as.tables.ReleaseRoot(as.mapCPU)
+	as.fam.removeMember(as)
 	last := as.fam.live.Add(-1) == 0
 	if last {
 		// Stop the background reclaimer first (a scan in flight would
