@@ -22,6 +22,7 @@ import (
 	"bonsai/internal/coherence"
 	"bonsai/internal/core"
 	"bonsai/internal/locks"
+	"bonsai/internal/machine"
 	"bonsai/internal/rbtree"
 	"bonsai/internal/rcu"
 	"bonsai/internal/sim"
@@ -933,5 +934,36 @@ func BenchmarkTortureSmoke(b *testing.B) {
 		b.ReportMetric(float64(fires), "fail-fires")
 		b.ReportMetric(float64(rep.OOMErrors), "oom-errors")
 		b.ReportMetric(float64(rep.OOMKills), "oom-kills")
+	}
+}
+
+// BenchmarkMultiTenantSoak runs a short multi-tenant soak — tenant
+// seats churning arrival/departure while each tenant thrashes a file
+// working set twice its frame limit — and reports the multi-tenant
+// headline metrics the CI bench snapshot tracks: aggregate fault
+// latency percentiles (soak-p50-ns / soak-p99-ns / soak-p999-ns) and
+// the reclaim-fairness count (tenant-fairness: evictions suffered by
+// under-limit tenants, which must stay at zero while the shared pool
+// is comfortable). Any soak violation fails the benchmark outright.
+func BenchmarkMultiTenantSoak(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := machine.Soak(machine.SoakConfig{
+			Seed:     1,
+			Duration: 2 * time.Second,
+			Slots:    4,
+			Design:   vm.PureRCU,
+		})
+		for _, v := range rep.Violations {
+			b.Errorf("violation: %s", v)
+		}
+		if rep.Failed() {
+			b.Fatalf("soak found %d violations (replay: cmd/soak -seed %d)", len(rep.Violations), rep.Seed)
+		}
+		b.ReportMetric(float64(rep.FaultP50NS), "soak-p50-ns")
+		b.ReportMetric(float64(rep.FaultP99NS), "soak-p99-ns")
+		b.ReportMetric(float64(rep.FaultP999NS), "soak-p999-ns")
+		b.ReportMetric(float64(rep.CrossTenantEvictions), "tenant-fairness")
+		b.ReportMetric(float64(rep.Ops)/2.0, "soak-ops/s")
+		b.ReportMetric(float64(rep.Evicted), "soak-tenants")
 	}
 }

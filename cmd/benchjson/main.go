@@ -35,10 +35,14 @@ import (
 // the working set at 2x physical memory), and the munmap-batching
 // benchmarks whose tlb-flushes/pages-per-flush counters anchor the
 // shootdown-batching trajectory (one gather flush per 1024-page unmap
-// vs the per-page baseline), and the torture smoke whose
+// vs the per-page baseline), the torture smoke whose
 // torture-ops/fail-fires/oom-kills counters anchor the robustness
-// trajectory (fault-injected churn with zero invariant violations).
-const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem|BenchmarkSharedFileFault|BenchmarkSharedFileFaultGlobalSem|BenchmarkMemoryPressure|BenchmarkMemoryPressureGlobalSem|BenchmarkMunmapBatched|BenchmarkMunmapBatchedPerPage|BenchmarkTortureSmoke)$`
+// trajectory (fault-injected churn with zero invariant violations),
+// and the multi-tenant soak whose soak-p99-ns/soak-p999-ns latency
+// percentiles and tenant-fairness count (evictions suffered by
+// under-limit tenants, gated at zero) anchor the tenant-isolation
+// trajectory.
+const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem|BenchmarkSharedFileFault|BenchmarkSharedFileFaultGlobalSem|BenchmarkMemoryPressure|BenchmarkMemoryPressureGlobalSem|BenchmarkMunmapBatched|BenchmarkMunmapBatchedPerPage|BenchmarkTortureSmoke|BenchmarkMultiTenantSoak)$`
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {

@@ -206,9 +206,14 @@ func runStress(d vm.Design, workers int, seed int64, dur time.Duration) error {
 	default:
 	}
 
-	st := as.Stats()
+	sn := as.Snapshot()
+	st := sn.Space
 	fmt.Printf("    %s: %d faults, %d mmaps, %d munmaps, %d mprotects, %d forks, %d retries, %d splits, %d COW breaks\n",
 		d, st.Faults, st.Mmaps, st.Munmaps, st.Mprotects, st.Forks, st.Retries(), st.Splits, st.CowBreaks)
+	if r := sn.Reclaim; r.KswapdEvicted+r.DirectEvicted+r.AccountEvicted > 0 {
+		fmt.Printf("    %s: reclaim kswapd=%d direct=%d tenant=%d writebacks=%d\n",
+			d, r.KswapdEvicted, r.DirectEvicted, r.AccountEvicted, r.Writebacks)
+	}
 	return as.Close() // verifies zero frame leaks
 }
 

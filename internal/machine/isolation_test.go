@@ -1,0 +1,173 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bonsai/internal/stats"
+	"bonsai/internal/vm"
+	"bonsai/internal/vma"
+)
+
+// Isolation-test geometry: tenant B's working set (arena + file +
+// page tables) fits comfortably under its limit; tenant A's file
+// window is twice A's limit, so A thrashes its own reclaim ladder for
+// the whole run.
+const (
+	isoLimit      = 128
+	isoBArena     = 32
+	isoBFilePages = 48
+	isoAFilePages = 2 * isoLimit
+)
+
+// runVictim drives tenant B's steady working-set loop for d, timing
+// every fault. First pass populates; after that every touch should be
+// a resident hit as long as nobody evicts B's pages.
+func runVictim(t *testing.T, b *Tenant, seed int64, d time.Duration) *stats.LatencyHist {
+	t.Helper()
+	as := b.Root()
+	cpu := as.NewCPU(0)
+	arena, err := as.Mmap(0, isoBArena*vm.PageSize, vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := vma.NewFile(b.Name()+".dat", uint64(seed))
+	base, err := as.Mmap(0, isoBFilePages*vm.PageSize, vma.ProtRead|vma.ProtWrite, vma.Shared, file, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := new(stats.LatencyHist)
+	rng := rand.New(rand.NewSource(seed))
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		var addr uint64
+		if rng.Intn(2) == 0 {
+			addr = arena + uint64(rng.Intn(isoBArena))*vm.PageSize
+		} else {
+			addr = base + uint64(rng.Intn(isoBFilePages))*vm.PageSize
+		}
+		start := time.Now()
+		err := cpu.Fault(addr, rng.Intn(4) == 0)
+		hist.Record(time.Since(start))
+		if err != nil {
+			t.Fatalf("victim fault: %v", err)
+		}
+	}
+	return hist
+}
+
+// TestTenantIsolation (run with -race in CI): tenant A thrashing a
+// working set twice its limit must not evict a single page of tenant
+// B, whose working set fits, and B's fault p99 must stay within
+// tolerance of a solo run on an otherwise idle machine — across all
+// four §5 designs.
+func TestTenantIsolation(t *testing.T) {
+	dur := 400 * time.Millisecond
+	if testing.Short() {
+		dur = 150 * time.Millisecond
+	}
+	for _, d := range vm.Designs {
+		t.Run(fmt.Sprintf("%v", d), func(t *testing.T) {
+			cfg := Config{
+				VM:         vm.Config{Design: d, CPUs: 2, Frames: 4096},
+				MaxTenants: 2,
+			}
+
+			// Solo baseline: B alone on the machine.
+			solo := New(cfg)
+			bSolo, err := solo.Admit("b", isoLimit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			soloHist := runVictim(t, bSolo, 42, dur)
+			if err := bSolo.Evict(); err != nil {
+				t.Fatal(err)
+			}
+			if err := solo.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Shared machine: A thrashes 2× its limit while B works.
+			m := New(cfg)
+			defer m.Close()
+			a, err := m.Admit("a", isoLimit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := m.Admit("b", isoLimit)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			stop := make(chan struct{})
+			thrashDone := make(chan error, 1)
+			go func() {
+				as := a.Root()
+				cpu := as.NewCPU(0)
+				file := vma.NewFile("a.dat", 7)
+				base, err := as.Mmap(0, isoAFilePages*vm.PageSize, vma.ProtRead|vma.ProtWrite, vma.Shared, file, 0)
+				if err != nil {
+					thrashDone <- err
+					return
+				}
+				rng := rand.New(rand.NewSource(7))
+				for {
+					select {
+					case <-stop:
+						thrashDone <- nil
+						return
+					default:
+					}
+					addr := base + uint64(rng.Intn(isoAFilePages))*vm.PageSize
+					if err := cpu.Fault(addr, rng.Intn(3) == 0); err != nil && !errors.Is(err, vm.ErrNoMemory) {
+						thrashDone <- err
+						return
+					}
+				}
+			}()
+
+			sharedHist := runVictim(t, b, 42, dur)
+			close(stop)
+			if err := <-thrashDone; err != nil {
+				t.Fatalf("thrasher: %v", err)
+			}
+
+			aStats := a.Account().Stats()
+			bStats := b.Account().Stats()
+			if aStats.LimitHits == 0 || aStats.Evictions == 0 {
+				t.Fatalf("thrasher never hit its limit (hits=%d evictions=%d) — test not exercising reclaim",
+					aStats.LimitHits, aStats.Evictions)
+			}
+			// The isolation claim: zero pages of B evicted, by anyone.
+			if bStats.Evictions != 0 {
+				t.Fatalf("victim lost %d pages to reclaim while under limit (under-limit: %d)",
+					bStats.Evictions, bStats.EvictionsUnderLimit)
+			}
+			if got := m.Snapshot().CrossTenantEvictions; got != 0 {
+				t.Fatalf("cross-tenant evictions = %d, want 0", got)
+			}
+
+			// Latency tolerance: B's p99 must not degrade past 10× the
+			// solo run plus scheduler noise headroom. If A's thrash
+			// reached B's pages, B would refault through the page cache
+			// and the ratio would blow far past this.
+			soloP99 := soloHist.Percentile(99)
+			sharedP99 := sharedHist.Percentile(99)
+			limit := 10*soloP99 + 200*time.Microsecond
+			if sharedP99 > limit {
+				t.Fatalf("victim p99 %v vs solo %v — beyond tolerance %v", sharedP99, soloP99, limit)
+			}
+			t.Logf("solo p99 %v, shared p99 %v, thrasher evictions %d", soloP99, sharedP99, aStats.Evictions)
+
+			if err := a.Evict(); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Evict(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,232 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"bonsai/internal/vm"
+	"bonsai/internal/vma"
+)
+
+func testCfg(design vm.Design, frames uint64) Config {
+	return Config{
+		VM:         vm.Config{Design: design, CPUs: 2, Frames: frames},
+		MaxTenants: 4,
+	}
+}
+
+// TestAdmitEvictLifecycle: tenants admit, work, and evict cleanly;
+// slots recycle; the machine closes with zero leaked frames.
+func TestAdmitEvictLifecycle(t *testing.T) {
+	m := New(testCfg(vm.PureRCU, 2048))
+	for round := 0; round < 3; round++ {
+		var tenants []*Tenant
+		for i := 0; i < 4; i++ {
+			tn, err := m.Admit("", 200)
+			if err != nil {
+				t.Fatalf("round %d admit %d: %v", round, i, err)
+			}
+			tenants = append(tenants, tn)
+		}
+		// A fifth tenant must be refused while four are live.
+		if _, err := m.Admit("", 200); err == nil {
+			t.Fatal("admit beyond MaxTenants succeeded")
+		}
+		for _, tn := range tenants {
+			as := tn.Root()
+			cpu := as.NewCPU(0)
+			arena, err := as.Mmap(0, 32*vm.PageSize, vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := uint64(0); p < 32; p++ {
+				if err := cpu.Fault(arena+p*vm.PageSize, true); err != nil {
+					t.Fatalf("fault: %v", err)
+				}
+			}
+			if tn.Account().Charged() == 0 {
+				t.Fatal("faults did not charge the tenant account")
+			}
+		}
+		for _, tn := range tenants {
+			if err := tn.Evict(); err != nil {
+				t.Fatalf("round %d evict: %v", round, err)
+			}
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestEvictClosesSiblings: Evict tears down every registered member,
+// not just the root, and audits to zero charge.
+func TestEvictClosesSiblings(t *testing.T) {
+	m := New(testCfg(vm.Hybrid, 2048))
+	defer m.Close()
+	tn, err := m.Admit("multi", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sib, err := tn.NewSibling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := vma.NewFile("shared.dat", 1)
+	for _, sp := range []*vm.AddressSpace{tn.Root(), sib} {
+		base, err := sp.Mmap(0, 64*vm.PageSize, vma.ProtRead|vma.ProtWrite, vma.Shared, file, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := sp.NewCPU(0)
+		for p := uint64(0); p < 64; p++ {
+			if err := cpu.Fault(base+p*vm.PageSize, p%2 == 0); err != nil {
+				t.Fatalf("fault: %v", err)
+			}
+		}
+	}
+	if len(tn.Spaces()) != 2 {
+		t.Fatalf("spaces = %d, want 2", len(tn.Spaces()))
+	}
+	if err := tn.Evict(); err != nil {
+		t.Fatalf("evict: %v", err)
+	}
+	if got := tn.Account().Charged(); got != 0 {
+		t.Fatalf("charged = %d after eviction, want 0", got)
+	}
+	// Double eviction is an error, not a crash.
+	if err := tn.Evict(); err == nil {
+		t.Fatal("second Evict succeeded")
+	}
+}
+
+// TestTenantLimitDrivesLocalReclaim: a tenant thrashing a file window
+// larger than its limit stays within the limit (tenant-local reclaim
+// keeps it honest) and never receives a hard error.
+func TestTenantLimitDrivesLocalReclaim(t *testing.T) {
+	m := New(testCfg(vm.PureRCU, 4096))
+	defer m.Close()
+	const limit = 96
+	tn, err := m.Admit("thrash", limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := tn.Root()
+	cpu := as.NewCPU(0)
+	filePages := uint64(3 * limit)
+	file := vma.NewFile("big.dat", 2)
+	base, err := as.Mmap(0, filePages*vm.PageSize, vma.ProtRead|vma.ProtWrite, vma.Shared, file, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sweep := 0; sweep < 2; sweep++ {
+		for p := uint64(0); p < filePages; p++ {
+			if err := cpu.Fault(base+p*vm.PageSize, p%4 == 0); err != nil {
+				if errors.Is(err, vm.ErrNoMemory) {
+					continue // graceful degradation at the limit is legal
+				}
+				t.Fatalf("fault: %v", err)
+			}
+		}
+	}
+	acs := tn.Account().Stats()
+	if acs.MaxCharged > limit {
+		t.Fatalf("max charged %d exceeded limit %d", acs.MaxCharged, limit)
+	}
+	if acs.LimitHits == 0 {
+		t.Fatal("thrash never hit the limit — working set not limit-bound")
+	}
+	rs := m.Host().ReclaimStats()
+	if rs.AccountRuns == 0 || rs.AccountEvicted == 0 {
+		t.Fatalf("tenant-local reclaim never ran: runs=%d evicted=%d", rs.AccountRuns, rs.AccountEvicted)
+	}
+	if err := tn.Evict(); err != nil {
+		t.Fatalf("evict: %v", err)
+	}
+	// The machine pool never saw pressure, so nothing was evicted from
+	// an under-limit account.
+	if got := m.Snapshot().CrossTenantEvictions; got != 0 {
+		t.Fatalf("cross-tenant evictions = %d, want 0", got)
+	}
+}
+
+// TestSnapshotRollup: the machine snapshot carries per-tenant account
+// entries and machine-wide reclaim counters, and departed tenants stay
+// in the rollup.
+func TestSnapshotRollup(t *testing.T) {
+	m := New(testCfg(vm.RWLock, 2048))
+	defer m.Close()
+	a, err := m.Admit("a", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Admit("b", 0) // unlimited
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := a.Root().NewCPU(0)
+	arena, err := a.Root().Mmap(0, 8*vm.PageSize, vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := uint64(0); p < 8; p++ {
+		if err := cpu.Fault(arena+p*vm.PageSize, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn := m.Snapshot()
+	if len(sn.Tenants) != 2 {
+		t.Fatalf("tenants in snapshot = %d, want 2", len(sn.Tenants))
+	}
+	var sawA, sawB bool
+	for _, ts := range sn.Tenants {
+		switch ts.Name {
+		case "a":
+			sawA = true
+			if ts.Account == nil || ts.Account.Charged == 0 {
+				t.Fatal("tenant a: no charged account in snapshot")
+			}
+		case "b":
+			sawB = true
+			if ts.Account != nil {
+				t.Fatal("unlimited tenant b reports an account")
+			}
+		}
+	}
+	if !sawA || !sawB {
+		t.Fatalf("snapshot missed a tenant: a=%v b=%v", sawA, sawB)
+	}
+	if err := a.Evict(); err != nil {
+		t.Fatal(err)
+	}
+	sn = m.Snapshot()
+	if len(sn.Departed) != 1 || sn.Departed[0].Name != "tenant-0" {
+		t.Fatalf("departed rollup = %+v, want tenant a's account", sn.Departed)
+	}
+	_ = b
+}
+
+// TestSoakSmoke: a short soak across two designs completes with zero
+// violations — no cross-tenant evictions, no leaked frames.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke needs a second of wall clock per design")
+	}
+	for _, d := range []vm.Design{vm.RWLock, vm.PureRCU} {
+		rep := Soak(SoakConfig{
+			Seed:     1,
+			Duration: 1200 * 1000 * 1000, // 1.2s
+			Slots:    3,
+			Design:   d,
+		})
+		if rep.Failed() {
+			t.Fatalf("%v: soak violations: %v", d, rep.Violations)
+		}
+		if rep.Faults == 0 || rep.Admitted < 3 || rep.Evicted != rep.Admitted {
+			t.Fatalf("%v: soak did not churn: %+v", d, rep)
+		}
+		if rep.FaultP99NS == 0 {
+			t.Fatalf("%v: no latency percentiles recorded", d)
+		}
+	}
+}

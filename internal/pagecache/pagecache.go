@@ -322,6 +322,12 @@ type Cache struct {
 	// (guarded by mu); the scan wraps around the resident set.
 	clockHand uint64
 
+	// clockHands holds the per-account clock hands of tenant-local
+	// scans (guarded by mu). Each account sweeps its own pages at its
+	// own pace: an over-limit tenant's scan neither advances the global
+	// hand nor steals second chances from its neighbors' pages.
+	clockHands map[*physmem.Account]uint64
+
 	// evictedOffs tracks offsets removed by eviction (not Drop) so the
 	// next fill of the same page counts as a refault. Guarded by mu.
 	evictedOffs map[uint64]struct{}
@@ -669,6 +675,16 @@ func (c *Cache) unlinkLocked(off uint64) {
 //
 // It returns the number of pages evicted and of pages written back.
 func (c *Cache) ReclaimScan(batch int, force bool, g *tlb.Gather) (evicted, written int) {
+	return c.ReclaimScanFor(nil, batch, force, g)
+}
+
+// ReclaimScanFor is ReclaimScan restricted to the pages charged to one
+// account (tenant-local reclaim). A nil account scans every page with
+// the cache's global clock hand; a non-nil account sweeps only its own
+// pages with its own per-account hand, leaving other tenants' accessed
+// bits — their second chances — untouched. Locking and phase structure
+// are identical to ReclaimScan.
+func (c *Cache) ReclaimScanFor(acct *physmem.Account, batch int, force bool, g *tlb.Gather) (evicted, written int) {
 	type snapEntry struct {
 		m   mapping
 		gen uint64
@@ -690,8 +706,21 @@ func (c *Cache) ReclaimScan(batch int, force bool, g *tlb.Gather) (evicted, writ
 	// — that is the clock algorithm clearing its bits.
 	c.mu.Lock()
 	var cands []candidate
+	setHand := func(off uint64) {
+		if acct == nil {
+			c.clockHand = off
+			return
+		}
+		if c.clockHands == nil {
+			c.clockHands = make(map[*physmem.Account]uint64)
+		}
+		c.clockHands[acct] = off
+	}
 	examine := func(pg *Page) bool {
-		c.clockHand = pg.off + physmem.PageSize
+		setHand(pg.off + physmem.PageSize)
+		if acct != nil && c.alloc.Owner(pg.frame) != acct {
+			return true // another tenant's page: invisible to this scan
+		}
 		if !force && pg.accessed.Swap(false) {
 			return true // referenced since the last pass: second chance
 		}
@@ -705,6 +734,9 @@ func (c *Cache) ReclaimScan(batch int, force bool, g *tlb.Gather) (evicted, writ
 		return len(cands) < batch
 	}
 	hand := c.clockHand
+	if acct != nil {
+		hand = c.clockHands[acct]
+	}
 	if hand >= MaxOffset {
 		hand = 0
 	}
@@ -785,6 +817,15 @@ func (c *Cache) ReclaimScan(batch int, force bool, g *tlb.Gather) (evicted, writ
 			c.evictedOffs = make(map[uint64]struct{})
 		}
 		c.evictedOffs[pg.off] = struct{}{}
+		// Record the eviction against the page's charge account before
+		// the deferred free clears the owner stamp. An under-limit
+		// account evicted by a scan it did not initiate (acct == nil:
+		// machine-wide; acct != owner: another tenant's drain) is
+		// absorbing someone else's pressure — the cross-tenant fairness
+		// signal the soak driver gates on.
+		if ac := c.alloc.Owner(pg.frame); ac != nil {
+			ac.NoteEviction(ac != acct)
+		}
 		frame := pg.frame
 		c.dom.Defer(func() { c.alloc.FreeRemote(frame) })
 		evicted++
@@ -793,6 +834,29 @@ func (c *Cache) ReclaimScan(batch int, force bool, g *tlb.Gather) (evicted, writ
 	c.evictions.Add(uint64(evicted))
 	c.mu.Unlock()
 	return evicted, written
+}
+
+// ForgetAccount drops the cache's per-account clock hand for ac.
+// Called when a tenant departs so the hands map does not accumulate
+// entries for dead accounts.
+func (c *Cache) ForgetAccount(ac *physmem.Account) {
+	c.mu.Lock()
+	delete(c.clockHands, ac)
+	c.mu.Unlock()
+}
+
+// ResidentFor returns the number of resident pages charged to ac (the
+// tenant-eviction leak audit's view of what is still pinned here).
+func (c *Cache) ResidentFor(ac *physmem.Account) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	c.walkLocked(c.root, func(_ *node, _ int, pg *Page) {
+		if c.alloc.Owner(pg.frame) == ac {
+			n++
+		}
+	})
+	return n
 }
 
 // walkFromLocked visits resident pages with offset >= from in

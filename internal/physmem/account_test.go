@@ -1,0 +1,172 @@
+package physmem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAccountChargeOnAlloc(t *testing.T) {
+	a := New(Config{Frames: 64, CPUs: 2})
+	ac := NewAccount("t0", 8)
+	a.BindAccount(0, ac)
+	if got := a.AccountOf(0); got != ac {
+		t.Fatal("AccountOf did not return the bound account")
+	}
+	if got := a.AccountOf(1); got != nil {
+		t.Fatal("unbound cpu reports an account")
+	}
+
+	var frames []Frame
+	for i := 0; i < 8; i++ {
+		f, err := a.Alloc(0)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if a.Owner(f) != ac {
+			t.Fatalf("frame %d owner not stamped", f)
+		}
+		frames = append(frames, f)
+	}
+	if got := ac.Charged(); got != 8 {
+		t.Fatalf("charged = %d, want 8", got)
+	}
+
+	// The ninth allocation must refuse with ErrOverLimit — a typed,
+	// tenant-local verdict distinct from pool exhaustion.
+	if _, err := a.Alloc(0); !errors.Is(err, ErrOverLimit) {
+		t.Fatalf("over-limit alloc: err = %v, want ErrOverLimit", err)
+	}
+	if ac.Stats().LimitHits != 1 {
+		t.Fatalf("limit hits = %d, want 1", ac.Stats().LimitHits)
+	}
+	// An unbound cpu on the same allocator is unaffected.
+	if _, err := a.Alloc(1); err != nil {
+		t.Fatalf("unaccounted alloc: %v", err)
+	}
+
+	// Frees uncharge, regardless of the freeing path.
+	a.Free(0, frames[0])
+	a.FreeRemote(frames[1])
+	a.FreeBatch(frames[2:4])
+	if got := ac.Charged(); got != 4 {
+		t.Fatalf("charged after frees = %d, want 4", got)
+	}
+	for _, f := range frames[:4] {
+		if a.Owner(f) != nil {
+			t.Fatalf("freed frame %d still owned", f)
+		}
+	}
+	// Room again: allocation succeeds and re-charges.
+	if _, err := a.Alloc(0); err != nil {
+		t.Fatalf("post-free alloc: %v", err)
+	}
+	if got := ac.MaxCharged(); got != 8 {
+		t.Fatalf("max charged = %d, want 8", got)
+	}
+}
+
+func TestAccountSharedFrameUnchargesAtFinalFree(t *testing.T) {
+	a := New(Config{Frames: 32, CPUs: 2})
+	ac := NewAccount("t0", 16)
+	a.BindAccount(0, ac)
+	f, err := a.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Ref(f) // a second reference (another tenant's mapping, say)
+	a.Free(0, f)
+	if got := ac.Charged(); got != 1 {
+		t.Fatalf("charged after non-final free = %d, want 1 (frame still referenced)", got)
+	}
+	a.FreeRemote(f) // final reference
+	if got := ac.Charged(); got != 0 {
+		t.Fatalf("charged after final free = %d, want 0", got)
+	}
+}
+
+func TestAccountUnlimitedAndZeroLimit(t *testing.T) {
+	a := New(Config{Frames: 16, CPUs: 1})
+	ac := NewAccount("free", 0) // limit 0 = unlimited, still charged
+	a.BindAccount(0, ac)
+	for i := 0; i < 12; i++ {
+		if _, err := a.Alloc(0); err != nil {
+			t.Fatalf("alloc %d under unlimited account: %v", i, err)
+		}
+	}
+	if got := ac.Charged(); got != 12 {
+		t.Fatalf("charged = %d, want 12", got)
+	}
+	if ac.OverLimit() {
+		t.Fatal("unlimited account reports over-limit")
+	}
+}
+
+func TestAccountEvictionFairnessSampling(t *testing.T) {
+	ac := NewAccount("t", 4)
+	ac.tryCharge() // charged=1, under limit
+	ac.NoteEviction(true)
+	ac.NoteEviction(false) // own-scan eviction never counts
+	for ac.Charged() < 4 {
+		ac.tryCharge()
+	}
+	ac.NoteEviction(true) // at limit: over-limit, not counted
+	st := ac.Stats()
+	if st.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", st.Evictions)
+	}
+	if st.EvictionsUnderLimit != 1 {
+		t.Fatalf("under-limit evictions = %d, want 1 (only the external under-limit one)", st.EvictionsUnderLimit)
+	}
+}
+
+func TestAccountConcurrentChargeNeverExceedsLimit(t *testing.T) {
+	a := New(Config{Frames: 512, CPUs: 8})
+	const limit = 64
+	ac := NewAccount("t", limit)
+	for cpu := 0; cpu < 8; cpu++ {
+		a.BindAccount(cpu, ac)
+	}
+	// Every goroutine wants 16 frames — 128 demanded against a limit
+	// of 64 — and holds them until every goroutine has finished its
+	// allocation phase, so limit refusals are guaranteed regardless of
+	// scheduling.
+	var alloced, wg sync.WaitGroup
+	release := make(chan struct{})
+	for cpu := 0; cpu < 8; cpu++ {
+		alloced.Add(1)
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			var mine []Frame
+			for i := 0; i < 16; i++ {
+				f, err := a.Alloc(cpu)
+				if err == nil {
+					mine = append(mine, f)
+				} else if !errors.Is(err, ErrOverLimit) {
+					panic(err)
+				}
+				if c := ac.Charged(); c > limit {
+					panic("charge exceeded limit")
+				}
+			}
+			alloced.Done()
+			<-release
+			for _, f := range mine {
+				a.Free(cpu, f)
+			}
+		}(cpu)
+	}
+	alloced.Wait()
+	close(release)
+	wg.Wait()
+	if got := ac.Charged(); got != 0 {
+		t.Fatalf("charged after all frees = %d, want 0", got)
+	}
+	if got := ac.MaxCharged(); got > limit {
+		t.Fatalf("max charged %d exceeded limit %d", got, limit)
+	}
+	if a.Stats().LimitFailures == 0 {
+		t.Fatal("concurrent storm never hit the limit")
+	}
+}

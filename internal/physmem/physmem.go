@@ -113,6 +113,13 @@ type Allocator struct {
 
 	backing []atomic.Pointer[[PageSize]byte]
 
+	// accounts maps magazine index -> bound charge account (nil =
+	// unaccounted); owner stamps each allocated frame with the account
+	// it was charged to, so the final free — from any CPU, any tenant —
+	// returns the charge to the right place.
+	accounts []atomic.Pointer[Account]
+	owner    []atomic.Pointer[Account]
+
 	// pressure is the kswapd wake-up channel (capacity 1); lowHit is
 	// the latch that keeps sustained pressure from hammering it.
 	pressure chan struct{}
@@ -124,6 +131,7 @@ type Allocator struct {
 	drains         atomic.Uint64
 	drained        atomic.Uint64
 	allocFailures  atomic.Uint64
+	limitFailures  atomic.Uint64
 	pressureEvents atomic.Uint64
 	inUse          atomic.Int64
 }
@@ -149,6 +157,8 @@ func New(cfg Config) *Allocator {
 		state:    make([]atomic.Uint64, (cfg.Frames+1+63)/64),
 		refs:     make([]atomic.Int32, cfg.Frames+1),
 		gens:     make([]atomic.Uint64, cfg.Frames+1),
+		accounts: make([]atomic.Pointer[Account], cfg.CPUs),
+		owner:    make([]atomic.Pointer[Account], cfg.Frames+1),
 		pressure: make(chan struct{}, 1),
 	}
 	// Push descending so low frames are allocated first.
@@ -197,17 +207,34 @@ func (a *Allocator) Alloc(cpu int) (Frame, error) {
 		a.allocFailures.Add(1)
 		return NoFrame, ErrOutOfMemory
 	}
+	// Charge the bound account before touching the pool: an over-limit
+	// tenant must not consume a frame another tenant could have used,
+	// even transiently.
+	ac := a.accounts[cpu%len(a.mags)].Load()
+	if ac != nil && !ac.tryCharge() {
+		a.limitFailures.Add(1)
+		return NoFrame, ErrOverLimit
+	}
 	m := &a.mags[cpu%len(a.mags)]
 	f, err := a.popMagazine(m)
 	if err != nil {
 		if a.DrainMagazines() == 0 {
 			a.allocFailures.Add(1)
+			if ac != nil {
+				ac.uncharge()
+			}
 			return NoFrame, err
 		}
 		if f, err = a.popMagazine(m); err != nil {
 			a.allocFailures.Add(1)
+			if ac != nil {
+				ac.uncharge()
+			}
 			return NoFrame, err
 		}
+	}
+	if ac != nil {
+		a.owner[f].Store(ac)
 	}
 	a.setAllocated(f)
 	a.gens[f].Add(1)
@@ -327,6 +354,7 @@ func (a *Allocator) Free(cpu int, f Frame) {
 	case n < 0:
 		panic(fmt.Sprintf("physmem: Free of frame %d with no references", f))
 	}
+	a.unchargeFrame(f)
 	a.clearAllocated(f)
 	a.frees.Add(1)
 	a.inUse.Add(-1)
@@ -359,6 +387,7 @@ func (a *Allocator) FreeRemote(f Frame) {
 	case n < 0:
 		panic(fmt.Sprintf("physmem: FreeRemote of frame %d with no references", f))
 	}
+	a.unchargeFrame(f)
 	a.clearAllocated(f)
 	a.frees.Add(1)
 	a.inUse.Add(-1)
@@ -387,6 +416,7 @@ func (a *Allocator) FreeBatch(frames []Frame) {
 		case n < 0:
 			panic(fmt.Sprintf("physmem: FreeBatch of frame %d with no references", f))
 		}
+		a.unchargeFrame(f)
 		a.clearAllocated(f)
 		frames[final] = f
 		final++
@@ -484,6 +514,7 @@ type Stats struct {
 	Drains         uint64 // DrainMagazines calls that recovered frames
 	Drained        uint64 // frames recovered from magazines
 	AllocFailures  uint64 // Allocs that returned ErrOutOfMemory
+	LimitFailures  uint64 // Allocs refused at an account limit (ErrOverLimit)
 	PressureEvents uint64 // low-watermark crossings signaled
 	InUse          int64
 	Free           int64 // unallocated frames (global pool + magazines)
@@ -498,6 +529,7 @@ func (a *Allocator) Stats() Stats {
 		Drains:         a.drains.Load(),
 		Drained:        a.drained.Load(),
 		AllocFailures:  a.allocFailures.Load(),
+		LimitFailures:  a.limitFailures.Load(),
 		PressureEvents: a.pressureEvents.Load(),
 		InUse:          a.inUse.Load(),
 		Free:           a.FreeFrames(),

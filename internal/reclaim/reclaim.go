@@ -81,16 +81,24 @@ type Reclaimer struct {
 	cachesMu sync.Mutex
 	caches   []*pagecache.Cache
 
+	// accounts are the machine's registered tenant charge accounts.
+	// kswapd and direct reclaim scan over-limit accounts' pages first,
+	// so a tenant paying for its own thrash shields its neighbors.
+	accountsMu sync.Mutex
+	accounts   []*physmem.Account
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	kswapdCycles  atomic.Uint64
-	kswapdEvicted atomic.Uint64
-	directRuns    atomic.Uint64
-	directEvicted atomic.Uint64
-	writebacks    atomic.Uint64
-	scanPasses    atomic.Uint64
-	stalls        atomic.Uint64
+	kswapdCycles   atomic.Uint64
+	kswapdEvicted  atomic.Uint64
+	directRuns     atomic.Uint64
+	directEvicted  atomic.Uint64
+	accountRuns    atomic.Uint64
+	accountEvicted atomic.Uint64
+	writebacks     atomic.Uint64
+	scanPasses     atomic.Uint64
+	stalls         atomic.Uint64
 }
 
 // New returns a running Reclaimer: its background goroutine is parked
@@ -125,6 +133,64 @@ func (r *Reclaimer) Register(c *pagecache.Cache) {
 	r.cachesMu.Lock()
 	r.caches = append(r.caches, c)
 	r.cachesMu.Unlock()
+}
+
+// Unregister removes a page cache from the scan rotation (tenant
+// teardown: under arrival/departure churn the rotation must not
+// accumulate dead caches). Removing a cache mid-scan is safe — the
+// running scan works on its own snapshot of the list.
+func (r *Reclaimer) Unregister(c *pagecache.Cache) {
+	r.cachesMu.Lock()
+	for i, have := range r.caches {
+		if have == c {
+			r.caches = append(r.caches[:i], r.caches[i+1:]...)
+			break
+		}
+	}
+	r.cachesMu.Unlock()
+}
+
+// RegisterAccount adds a tenant charge account to the reclaim policy:
+// while the account is over its limit, kswapd and direct reclaim evict
+// its pages before touching anyone else's.
+func (r *Reclaimer) RegisterAccount(ac *physmem.Account) {
+	r.accountsMu.Lock()
+	r.accounts = append(r.accounts, ac)
+	r.accountsMu.Unlock()
+}
+
+// UnregisterAccount removes a departing tenant's account and drops the
+// per-account clock hands the caches kept for it.
+func (r *Reclaimer) UnregisterAccount(ac *physmem.Account) {
+	r.accountsMu.Lock()
+	for i, have := range r.accounts {
+		if have == ac {
+			r.accounts = append(r.accounts[:i], r.accounts[i+1:]...)
+			break
+		}
+	}
+	r.accountsMu.Unlock()
+	r.cachesMu.Lock()
+	caches := make([]*pagecache.Cache, len(r.caches))
+	copy(caches, r.caches)
+	r.cachesMu.Unlock()
+	for _, c := range caches {
+		c.ForgetAccount(ac)
+	}
+}
+
+// overLimitAccounts snapshots the registered accounts currently at or
+// above their limits.
+func (r *Reclaimer) overLimitAccounts() []*physmem.Account {
+	r.accountsMu.Lock()
+	defer r.accountsMu.Unlock()
+	var over []*physmem.Account
+	for _, ac := range r.accounts {
+		if ac.OverLimit() {
+			over = append(over, ac)
+		}
+	}
+	return over
 }
 
 // Close stops the background reclaimer and waits for any scan in
@@ -257,14 +323,32 @@ func (r *Reclaimer) reclaim(target int, force bool) (drained, evictedN int) {
 		// pre-gather code charged per evicted page).
 		g := r.cfg.TLB.Gather(0)
 		r.rd.Lock()
-		// One gentle clock pass per call: a pass over a fully hot set
-		// only clears accessed bits, and the bits must survive until
-		// the *next* call (kswapd's next wake) so pages re-touched in
-		// between keep their second chance — two back-to-back passes
-		// would degenerate clock into round-robin eviction of hot
-		// pages. A forced final pass gives direct reclaim its progress
-		// guarantee when even the second chances are exhausted.
-		evicted, written = r.scanOnce(caches, target, false, g)
+		// Tenants over their limits pay first: one gentle pass over each
+		// over-limit account's own pages (their private clock hands)
+		// before the machine-wide clock runs, so global pressure caused
+		// by a thrashing tenant lands on that tenant's working set, not
+		// its neighbors'.
+		for _, ac := range r.overLimitAccounts() {
+			if evicted >= target {
+				break
+			}
+			ev, wr := r.scanOnceFor(ac, caches, target-evicted, false, g)
+			evicted += ev
+			written += wr
+		}
+		// One gentle machine-wide clock pass per call: a pass over a
+		// fully hot set only clears accessed bits, and the bits must
+		// survive until the *next* call (kswapd's next wake) so pages
+		// re-touched in between keep their second chance — two
+		// back-to-back passes would degenerate clock into round-robin
+		// eviction of hot pages. A forced final pass gives direct
+		// reclaim its progress guarantee when even the second chances
+		// are exhausted.
+		if evicted < target {
+			ev, wr := r.scanOnce(caches, target-evicted, false, g)
+			evicted += ev
+			written += wr
+		}
 		if evicted == 0 && force {
 			evicted, written = r.scanOnce(caches, target, true, g)
 		}
@@ -289,13 +373,59 @@ func (r *Reclaimer) reclaim(target int, force bool) (drained, evictedN int) {
 	return freed, evicted
 }
 
+// ReclaimAccount runs tenant-local reclaim: one clock pass (gentle,
+// then forced if nothing moved) over only the pages charged to ac,
+// under the machine's scan lock, flushing the batch gather and the RCU
+// domain so the evicted frames' charges have actually dropped by the
+// time it returns — the caller's retry must observe the headroom. It
+// returns the number of pages evicted; zero means nothing of this
+// account's is evictable (its charge is all anonymous memory or
+// pinned pages), which is when the caller escalates to per-tenant OOM.
+func (r *Reclaimer) ReclaimAccount(ac *physmem.Account, target int) int {
+	if target <= 0 {
+		target = r.cfg.BatchPages
+	}
+	r.accountRuns.Add(1)
+	r.scanMu.Lock()
+	r.cachesMu.Lock()
+	caches := make([]*pagecache.Cache, len(r.caches))
+	copy(caches, r.caches)
+	r.cachesMu.Unlock()
+	evicted, written := 0, 0
+	if len(caches) > 0 {
+		g := r.cfg.TLB.Gather(0)
+		r.rd.Lock()
+		evicted, written = r.scanOnceFor(ac, caches, target, false, g)
+		if evicted == 0 {
+			evicted, written = r.scanOnceFor(ac, caches, target, true, g)
+		}
+		r.rd.Unlock()
+		g.Flush()
+	}
+	r.scanMu.Unlock()
+	if evicted > 0 {
+		r.writebacks.Add(uint64(written))
+		r.accountEvicted.Add(uint64(evicted))
+		// The frees (and with them the uncharges) are deferred past a
+		// grace period; flush so the caller's retry sees the charge drop.
+		r.dom.Flush()
+	}
+	return evicted
+}
+
 // scanOnce runs one clock pass across the caches, round-robin from the
 // rotation cursor so one hot file cannot shadow the others.
 func (r *Reclaimer) scanOnce(caches []*pagecache.Cache, target int, force bool, g *tlb.Gather) (evicted, written int) {
+	return r.scanOnceFor(nil, caches, target, force, g)
+}
+
+// scanOnceFor is scanOnce restricted to one account's pages (nil =
+// machine-wide).
+func (r *Reclaimer) scanOnceFor(ac *physmem.Account, caches []*pagecache.Cache, target int, force bool, g *tlb.Gather) (evicted, written int) {
 	r.scanPasses.Add(1)
 	for i := 0; i < len(caches) && evicted < target; i++ {
 		c := caches[(r.handCache+i)%len(caches)]
-		ev, wr := c.ReclaimScan(target-evicted, force, g)
+		ev, wr := c.ReclaimScanFor(ac, target-evicted, force, g)
 		evicted += ev
 		written += wr
 	}
@@ -309,6 +439,8 @@ type Stats struct {
 	KswapdEvicted  uint64 // pages evicted by the background reclaimer
 	DirectRuns     uint64 // direct-reclaim invocations (failed allocations)
 	DirectEvicted  uint64 // pages evicted by direct reclaim
+	AccountRuns    uint64 // tenant-local reclaim invocations (over-limit charges)
+	AccountEvicted uint64 // pages evicted by tenant-local reclaim
 	Writebacks     uint64 // dirty pages written back before eviction
 	ScanPasses     uint64 // clock passes over the cache rotation
 	InjectedStalls uint64 // direct-reclaim runs failed by the stall failpoint
@@ -321,6 +453,8 @@ func (r *Reclaimer) Stats() Stats {
 		KswapdEvicted:  r.kswapdEvicted.Load(),
 		DirectRuns:     r.directRuns.Load(),
 		DirectEvicted:  r.directEvicted.Load(),
+		AccountRuns:    r.accountRuns.Load(),
+		AccountEvicted: r.accountEvicted.Load(),
 		Writebacks:     r.writebacks.Load(),
 		ScanPasses:     r.scanPasses.Load(),
 		InjectedStalls: r.stalls.Load(),

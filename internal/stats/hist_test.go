@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBucketMonotone(t *testing.T) {
+	prev := -1
+	for _, ns := range []uint64{0, 1, 15, 16, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1<<40 + 12345, 1<<63 + 1} {
+		b := histBucket(ns)
+		if b < prev {
+			t.Fatalf("bucket(%d) = %d < previous %d", ns, b, prev)
+		}
+		prev = b
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucket(%d) = %d out of range", ns, b)
+		}
+	}
+}
+
+func TestHistValueWithinBucketError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		ns := uint64(rng.Int63n(int64(time.Minute)))
+		v := histValue(histBucket(ns))
+		lo, hi := float64(ns)*0.9, float64(ns)*1.1+1
+		if float64(v) < lo || float64(v) > hi {
+			t.Fatalf("value(bucket(%d)) = %d, want within ±10%%", ns, v)
+		}
+	}
+}
+
+func TestHistPercentileAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h LatencyHist
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over [100ns, 10ms]: exercises many octaves.
+		ns := 100 * time.Duration(1+rng.Int63n(100000))
+		h.Record(ns)
+		samples = append(samples, float64(ns))
+	}
+	sort.Float64s(samples)
+	for _, p := range []float64{50, 99, 99.9} {
+		exact := Percentile(samples, p)
+		got := float64(h.Percentile(p))
+		if got < exact*0.85 || got > exact*1.15 {
+			t.Fatalf("p%v = %v, exact %v (off by more than 15%%)", p, got, exact)
+		}
+	}
+}
+
+func TestHistConcurrentRecord(t *testing.T) {
+	var h LatencyHist
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				h.Record(time.Duration(rng.Int63n(int64(time.Millisecond))))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != 8*5000 {
+		t.Fatalf("count = %d, want %d", h.Count(), 8*5000)
+	}
+	var m LatencyHist
+	m.Merge(&h)
+	if m.Count() != h.Count() {
+		t.Fatalf("merged count = %d, want %d", m.Count(), h.Count())
+	}
+	if m.Percentile(50) != h.Percentile(50) {
+		t.Fatalf("merged p50 differs")
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h LatencyHist
+	if h.Percentile(99) != 0 {
+		t.Fatal("empty histogram percentile should be 0")
+	}
+}

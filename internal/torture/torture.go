@@ -144,7 +144,9 @@ func Run(cfg Config) *Report {
 			break
 		}
 	}
-	t.report.Failpoints = fail.Snapshot()
+	if t.report.Failpoints == nil {
+		t.report.Failpoints = fail.Snapshot()
+	}
 	return t.report
 }
 
@@ -520,7 +522,12 @@ func (m *machine) teardown(where string) {
 	}
 	m.ballast = nil
 	m.ballastMu.Unlock()
-	t.report.OOMKills = m.as.Stats().OOMKills + t.report.OOMKills
+	// The unified snapshot is the one observability call: operation
+	// counters, reclaim ladder, and the failpoint registry together,
+	// captured while the epoch's machine is still alive.
+	sn := m.as.Snapshot()
+	t.report.OOMKills += sn.Space.OOMKills
+	t.report.Failpoints = sn.Failpoints
 	if err := m.as.Close(); err != nil {
 		t.violate("%s: machine leaked at teardown: %v", where, err)
 	}

@@ -76,7 +76,7 @@ func (as *AddressSpace) auditPTEs() error {
 				continue
 			}
 			frame := pagetable.PTEFrame(pte)
-			pg := as.fam.reg.Lookup(frame)
+			pg := as.fam.ms.reg.Lookup(frame)
 			if pg == nil {
 				if shared {
 					errs = append(errs, fmt.Errorf("shared PTE %#x: frame %d is not a registered cache page", page, frame))
@@ -104,7 +104,7 @@ func (as *AddressSpace) auditPTEs() error {
 // between its revocation and bookkeeping phases would otherwise show
 // rmap entries whose PTEs are already gone.
 func (as *AddressSpace) QuiesceReclaim(fn func()) {
-	as.fam.rec.Quiesce(func() {
+	as.fam.ms.rec.Quiesce(func() {
 		as.dom.Flush()
 		fn()
 	})

@@ -1,0 +1,23 @@
+package vm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestNoShootdownDelayField guards the retirement of the flat
+// Config.ShootdownDelay knob: shootdown cost is ShootdownBase +
+// ShootdownPerCore × CPUs, and the deprecated alias must not quietly
+// come back (CI additionally greps for the identifier, so a
+// reintroduction fails twice).
+func TestNoShootdownDelayField(t *testing.T) {
+	cfgT := reflect.TypeOf(Config{})
+	if f, ok := cfgT.FieldByName("ShootdownDelay"); ok {
+		t.Fatalf("vm.Config has a %s field again — it was retired for ShootdownBase/ShootdownPerCore", f.Name)
+	}
+	for _, want := range []string{"ShootdownBase", "ShootdownPerCore"} {
+		if _, ok := cfgT.FieldByName(want); !ok {
+			t.Fatalf("vm.Config lost its %s field", want)
+		}
+	}
+}

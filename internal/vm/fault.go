@@ -56,16 +56,26 @@ const oomRetries = 16
 // retries, not sixty-four.
 const shortageRetryBudget = 64
 
-// retryShortage runs op under the VM's graceful-degradation ladder:
+// retryShortage runs op under the VM's graceful-degradation ladder.
 //
-//  1. op fails with ErrFrameShortage → direct reclaim, retry — up to
-//     shortageRetryBudget times, each retry backed by a reclaim run
-//     that reported progress;
-//  2. budget exhausted (or reclaim out of progress) → the family's
-//     OOM killer of last resort reaps the largest sibling and the
-//     budget resets, once;
+// Pool exhaustion (ErrFrameShortage):
+//
+//  1. direct reclaim, retry — up to shortageRetryBudget times, each
+//     retry backed by a reclaim run that reported progress;
+//  2. budget exhausted (or reclaim out of progress) → the machine's
+//     OOM killer of last resort reaps the largest member — this
+//     tenant's first, any tenant's as fallback — and the budget
+//     resets, once;
 //  3. nothing left → typed ErrNoMemory, with op fully unwound (its
 //     contract: a shortage failure leaks nothing and holds nothing).
+//
+// Tenant-limit exhaustion (ErrTenantShortage) climbs the tenant-local
+// rung of the same ladder first: reclaim scans restricted to this
+// tenant's own pages (neighbors' pages and their accessed bits are
+// untouched), then a per-tenant OOM kill confined to this tenant —
+// reaping a neighbor cannot lower this tenant's charge — then
+// ErrNoMemory. The machine-wide pool is never touched on this path,
+// so a thrashing tenant degrades alone.
 //
 // Any non-shortage outcome — success, ErrSegv, I/O errors — returns
 // immediately.
@@ -73,17 +83,21 @@ func (as *AddressSpace) retryShortage(op func() error) error {
 	kills := 0
 	for attempt := 0; ; attempt++ {
 		err := op()
-		if !errors.Is(err, ErrFrameShortage) {
+		tenant := errors.Is(err, ErrTenantShortage)
+		if !tenant && !errors.Is(err, ErrFrameShortage) {
 			return err
 		}
 		as.stats.reclaimRetries.Add(1)
-		if attempt < shortageRetryBudget && as.reclaimForShortage() {
+		if attempt < shortageRetryBudget && as.reclaimForShortageKind(tenant) {
 			continue
 		}
-		if kills == 0 && as.oomKill() {
+		if kills == 0 && as.oomKill(tenant) {
 			kills++
 			attempt = -1 // fresh budget against the reaped memory
 			continue
+		}
+		if tenant {
+			return fmt.Errorf("%w: tenant frame limit exhausted after %d attempts and nothing evictable in-tenant", ErrNoMemory, attempt+1)
 		}
 		return fmt.Errorf("%w: frame pool exhausted after %d attempts and nothing evictable", ErrNoMemory, attempt+1)
 	}
@@ -100,8 +114,23 @@ func (as *AddressSpace) retryShortage(op func() error) error {
 // page caches at all (purely anonymous workloads) every attempt is a
 // cheap empty scan, so true OOM still reports quickly.
 func (as *AddressSpace) reclaimForShortage() bool {
+	return as.reclaimForShortageKind(false)
+}
+
+// reclaimForShortageKind is reclaimForShortage with the tenant-local
+// variant: tenant == true answers a tenant-limit failure by scanning
+// only this tenant's own pages (ReclaimAccount), so the tenant pays
+// for its overcommit itself instead of pressuring its neighbors.
+func (as *AddressSpace) reclaimForShortageKind(tenant bool) bool {
 	for attempt := 0; attempt < oomRetries; attempt++ {
-		if as.fam.rec.DirectReclaim() {
+		if tenant {
+			if as.fam.acct == nil {
+				return false // no account: a tenant shortage cannot recur
+			}
+			if as.fam.ms.rec.ReclaimAccount(as.fam.acct, 0) > 0 {
+				return true
+			}
+		} else if as.fam.ms.rec.DirectReclaim() {
 			return true
 		}
 		if attempt < 4 {
@@ -382,7 +411,7 @@ func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool,
 	var g *tlb.Gather
 	makeCopy := func(old uint64) (uint64, error) {
 		if g == nil {
-			g = as.fam.tlb.Gather(c.id)
+			g = as.fam.ms.tlb.Gather(c.id)
 		}
 		return c.cowBreak(g, page, old)
 	}

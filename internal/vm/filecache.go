@@ -29,7 +29,7 @@ func (as *AddressSpace) registerFile(f *vma.File) error {
 	fam := as.fam
 	fam.filesMu.Lock()
 	defer fam.filesMu.Unlock()
-	c := pagecache.New(f.ID, f.String(), as.alloc, as.dom, fam.reg)
+	c := pagecache.New(f.ID, f.String(), as.alloc, as.dom, fam.ms.reg)
 	if !f.TryAttachCache(c) {
 		// Lost a first-mapping race. filesMu only excludes mappers in
 		// this family, so the winner may belong to a different machine
@@ -43,20 +43,22 @@ func (as *AddressSpace) registerFile(f *vma.File) error {
 	fam.files = append(fam.files, f)
 	// The cache joins the machine's eviction rotation: under memory
 	// pressure the reclaim scan may now evict its resident pages.
-	fam.rec.Register(c)
+	fam.ms.rec.Register(c)
 	return nil
 }
 
 // dropCaches tears down every file cache the family accumulated:
 // resident pages are dropped (their cache-owned frame references
-// deferred past a grace period) and the cache handles detached so the
-// Files can be mapped into a fresh machine later. Called by the last
-// family member's Close, before the domain is flushed.
+// deferred past a grace period), each cache leaves the machine's
+// eviction rotation, and the cache handles detach so the Files can be
+// mapped into a fresh machine (or a fresh tenant) later. Called when
+// the tenant retires, before the domain is flushed.
 func (fam *family) dropCaches() {
 	fam.filesMu.Lock()
 	defer fam.filesMu.Unlock()
 	for _, f := range fam.files {
 		if c := f.PageCache(); c != nil {
+			fam.ms.rec.Unregister(c)
 			c.DropAll()
 			f.AttachCache(nil)
 		}

@@ -63,7 +63,7 @@ func (as *AddressSpace) forkOnce() (*AddressSpace, error) {
 	// flush below — still under the whole-space lock, like the
 	// kernel's flush_tlb_mm at the end of dup_mmap — invalidates the
 	// parent's stale writable translations in one batch.
-	g := as.fam.tlb.Gather(as.mapCPU)
+	g := as.fam.ms.tlb.Gather(as.mapCPU)
 	var cloneErr error
 	as.idx.ascendRangeLocked(0, MaxAddress, func(v *vma.VMA) bool {
 		lo, hi := v.Start(), v.End()
@@ -85,7 +85,7 @@ func (as *AddressSpace) forkOnce() (*AddressSpace, error) {
 		cloneErr = as.tables.CloneRange(as.mapCPU, g, child.tables, lo, hi, cow,
 			func(addr uint64, f physmem.Frame) {
 				as.alloc.Ref(f)
-				if pg := as.fam.reg.Lookup(f); pg != nil {
+				if pg := as.fam.ms.reg.Lookup(f); pg != nil {
 					clonePages[addr] = pg
 				}
 			},
@@ -168,7 +168,7 @@ func (c *CPU) cowBreak(g *tlb.Gather, page, old uint64) (uint64, error) {
 	// The PTE stops mapping oldFrame; if that was a page-cache frame (a
 	// Private read mapping of a cached page), drop its rmap entry here,
 	// inside the PTE lock, like the zap path does.
-	if pg := as.fam.reg.Lookup(oldFrame); pg != nil {
+	if pg := as.fam.ms.reg.Lookup(oldFrame); pg != nil {
 		pg.RemoveMapping(as, page)
 	}
 	// The old frame may still be reachable by lock-free readers of this

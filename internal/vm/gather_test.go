@@ -182,16 +182,16 @@ func TestTLBGatherFlushInvariant(t *testing.T) {
 	})
 }
 
-// TestShootdownDelayAlias: the deprecated flat ShootdownDelay still
-// charges (as ShootdownBase) when the new parameters are unset.
-func TestShootdownDelayAlias(t *testing.T) {
-	cfg := Config{CPUs: 2, ShootdownDelay: 5 * time.Millisecond}
-	if got := cfg.shootdownCost().Base; got != 5*time.Millisecond {
-		t.Fatalf("alias Base = %v, want 5ms", got)
-	}
-	cfg.ShootdownBase = time.Millisecond
+// TestShootdownCostModel: the shootdown parameters map straight onto
+// the gather domain's cost model, and the retired flat ShootdownDelay
+// field stays retired (see TestNoShootdownDelayField).
+func TestShootdownCostModel(t *testing.T) {
+	cfg := Config{CPUs: 2, ShootdownBase: time.Millisecond, ShootdownPerCore: 10 * time.Microsecond}
 	if got := cfg.shootdownCost().Base; got != time.Millisecond {
-		t.Fatalf("explicit Base = %v, want 1ms (alias must not apply)", got)
+		t.Fatalf("Base = %v, want 1ms", got)
+	}
+	if got := cfg.shootdownCost().PerCore; got != 10*time.Microsecond {
+		t.Fatalf("PerCore = %v, want 10µs", got)
 	}
 	if got := cfg.shootdownCost().Cores; got != 2 {
 		t.Fatalf("Cores = %d, want CPUs", got)

@@ -75,7 +75,7 @@ func (as *AddressSpace) zapRange(lo, hi uint64) {
 	if as.rl != nil {
 		hint = as.mapCPU + int(lo>>21)
 	}
-	g := as.fam.tlb.Gather(hint)
+	g := as.fam.ms.tlb.Gather(hint)
 	as.tables.UnmapRange(g, lo, hi, func(addr, pte uint64) {
 		frame := pagetable.PTEFrame(pte)
 		as.stats.pagesUnmapped.Add(1)
@@ -83,7 +83,7 @@ func (as *AddressSpace) zapRange(lo, hi uint64) {
 		// this PTE; drop it here, inside the PTE lock that cleared the
 		// entry, so the removal is ordered before any refault re-adds
 		// the same (space, vaddr) slot.
-		if pg := as.fam.reg.Lookup(frame); pg != nil {
+		if pg := as.fam.ms.reg.Lookup(frame); pg != nil {
 			pg.RemoveMapping(as, addr)
 		}
 	})

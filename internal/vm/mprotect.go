@@ -103,7 +103,7 @@ func (as *AddressSpace) mprotectLocked(lo, hi uint64, prot vma.Prot) error {
 	// still inside the caller's mapping exclusion.
 	if prot&vma.ProtWrite == 0 {
 		if n := as.tables.WriteProtectRange(lo, hi); n > 0 {
-			g := as.fam.tlb.Gather(as.mapCPU)
+			g := as.fam.ms.tlb.Gather(as.mapCPU)
 			g.Revoke(n)
 			g.Flush()
 		}

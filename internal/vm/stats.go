@@ -3,7 +3,10 @@ package vm
 import (
 	"sync/atomic"
 
+	"bonsai/internal/fail"
 	"bonsai/internal/locks"
+	"bonsai/internal/pagecache"
+	"bonsai/internal/physmem"
 	"bonsai/internal/ranges"
 	"bonsai/internal/reclaim"
 )
@@ -124,7 +127,7 @@ func (s Stats) PagesPerFlush() float64 {
 // Stats returns a snapshot of the address space's counters.
 func (as *AddressSpace) Stats() Stats {
 	pc := as.PageCacheStats()
-	tl := as.fam.tlb.Stats()
+	tl := as.fam.ms.tlb.Stats()
 	return Stats{
 		TLBFlushes:      tl.Flushes,
 		TLBPagesFlushed: tl.PagesFlushed,
@@ -199,5 +202,58 @@ func (as *AddressSpace) RangeStats() ranges.Stats {
 // cycles, direct-reclaim runs, evictions, writebacks). Family-shared,
 // like the frame pool they protect.
 func (as *AddressSpace) ReclaimStats() reclaim.Stats {
-	return as.fam.rec.Stats()
+	return as.fam.ms.rec.Stats()
+}
+
+// StatsSnapshot is the unified observability surface: one nested,
+// JSON-marshalable snapshot consolidating what used to take five
+// separate calls (Stats, RangeStats, ReclaimStats, PageCachePerFile,
+// fail.Snapshot). AddressSpace.Snapshot fills it for one member;
+// machine.Machine rolls tenants' snapshots up with per-tenant charge
+// accounts on top.
+type StatsSnapshot struct {
+	// Design is the configured concurrency design's name.
+	Design string `json:"design"`
+	// Tenant is the tenant slot on the hosting machine.
+	Tenant int `json:"tenant"`
+	// Space is the address space's own operation counters.
+	Space Stats `json:"space"`
+	// Ranges is the range-lock manager's counters (zeros for designs
+	// that serialize mapping operations on mmap_sem).
+	Ranges ranges.Stats `json:"ranges"`
+	// Reclaim is the machine-wide reclaim ladder's counters.
+	Reclaim reclaim.Stats `json:"reclaim"`
+	// Files is the per-file page-cache breakdown, keyed by the file's
+	// stable label (name#id).
+	Files map[string]pagecache.Stats `json:"files,omitempty"`
+	// Account is the tenant's charge account, nil when the tenant is
+	// unlimited (every vm.New space).
+	Account *physmem.AccountStats `json:"account,omitempty"`
+	// TenantOOMKills counts killer-of-last-resort reaps whose victim
+	// was in this tenant (Space.OOMKills counts the same thing today;
+	// kept distinct so the machine rollup can expose both views).
+	TenantOOMKills uint64 `json:"tenant_oom_kills"`
+	// Failpoints is the process-wide failure-injection registry's
+	// counters (empty when no point is registered).
+	Failpoints []fail.PointStats `json:"failpoints,omitempty"`
+}
+
+// Snapshot captures the unified statistics snapshot for this address
+// space and its machine.
+func (as *AddressSpace) Snapshot() StatsSnapshot {
+	sn := StatsSnapshot{
+		Design:         as.cfg.Design.String(),
+		Tenant:         as.fam.tenant,
+		Space:          as.Stats(),
+		Ranges:         as.RangeStats(),
+		Reclaim:        as.ReclaimStats(),
+		Files:          as.PageCachePerFile(),
+		TenantOOMKills: as.fam.oomKills.Load(),
+		Failpoints:     fail.Snapshot(),
+	}
+	if as.fam.acct != nil {
+		st := as.fam.acct.Stats()
+		sn.Account = &st
+	}
+	return sn
 }

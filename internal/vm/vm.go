@@ -32,7 +32,6 @@ import (
 	"bonsai/internal/physmem"
 	"bonsai/internal/ranges"
 	"bonsai/internal/rcu"
-	"bonsai/internal/reclaim"
 	"bonsai/internal/tlb"
 	"bonsai/internal/vma"
 )
@@ -99,16 +98,30 @@ var (
 	// errors.Is(err, ErrNoMemory) therefore still identifies every
 	// out-of-memory outcome.
 	ErrFrameShortage = errors.New("vm: transient frame shortage")
+
+	// ErrTenantShortage is the tenant-limit analogue of
+	// ErrFrameShortage: the pool has frames, but the operating tenant's
+	// charge account is at its limit. The retry ladder answers it with
+	// tenant-local reclaim (evicting only this tenant's pages) and, at
+	// the end, per-tenant OOM — never with a global scan, which would
+	// make a thrashing tenant's limit its neighbors' problem. Like
+	// ErrFrameShortage it escapes API callers only wrapped in
+	// ErrNoMemory.
+	ErrTenantShortage = errors.New("vm: transient tenant frame-limit shortage")
 )
 
 // oomError types an allocation failure: frame-pool exhaustion becomes
 // the retryable ErrFrameShortage (the raw physmem error never escapes
-// mid-operation), a page-cache I/O error propagates as itself (it is
-// not a memory condition — retrying with reclaim cannot cure a failing
-// disk), anything else the terminal ErrNoMemory.
+// mid-operation), a refused tenant charge the retryable
+// ErrTenantShortage, a page-cache I/O error propagates as itself (it
+// is not a memory condition — retrying with reclaim cannot cure a
+// failing disk), anything else the terminal ErrNoMemory.
 func oomError(err error) error {
 	if errors.Is(err, physmem.ErrOutOfMemory) {
 		return ErrFrameShortage
+	}
+	if errors.Is(err, physmem.ErrOverLimit) {
+		return ErrTenantShortage
 	}
 	if errors.Is(err, pagecache.ErrIO) {
 		return err
@@ -197,12 +210,6 @@ type Config struct {
 	// disjoint-mapping benchmarks use it to reproduce the paper's
 	// long-holder regime; zero (the default) disables the charge.
 	ShootdownBase, ShootdownPerCore time.Duration
-	// ShootdownDelay is the deprecated flat-cost predecessor of
-	// ShootdownBase/ShootdownPerCore: when both new parameters are
-	// zero, a non-zero ShootdownDelay is treated as ShootdownBase.
-	//
-	// Deprecated: set ShootdownBase (and ShootdownPerCore) instead.
-	ShootdownDelay time.Duration
 	// LowWater and HighWater are the reclaim watermarks in frames:
 	// below LowWater free frames the background reclaimer wakes and
 	// evicts page-cache pages until free frames exceed HighWater. An
@@ -263,18 +270,37 @@ type AddressSpace struct {
 	stats statsCounters
 }
 
-// family is the state shared between an address space and its forks
-// and siblings: one frame pool, one RCU domain, the registry of files
-// mapped by any member (each with its shared page cache), the
-// machine-wide frame-to-page registry, and the reclaim subsystem.
+// family is one tenant: the state shared between an address space and
+// its forks and siblings — the member slots partitioning the tenant's
+// share of the machine's magazines, the registry of files mapped by
+// any member (each with its shared page cache), the tenant's memcg-
+// style charge account, and the liveness count that retires the tenant
+// at the last Close. The machine-wide resources (frame pool, RCU
+// domain, TLB domain, reclaim driver, frame-to-page registry, OOM
+// killer) live on ms, shared by every tenant the machine hosts.
 type family struct {
-	alloc *physmem.Allocator
-	dom   *rcu.Domain
-	live  atomic.Int32 // address spaces not yet closed
-	max   int32
+	ms *machine
+
+	// acct is the tenant's charge account (nil = unlimited and
+	// unaccounted, the single-tenant compat path): every frame any
+	// member allocates is charged against it, and the fault/fork retry
+	// ladder answers its limit with tenant-local reclaim.
+	acct *physmem.Account
+
+	// tenant is the machine tenant slot; cpuBase is where the tenant's
+	// magazine partition starts in the machine allocator.
+	tenant  int
+	cpuBase int
+
+	live atomic.Int32 // address spaces not yet closed
+	max  int32
+
+	// oomKills counts OOM reaps whose victim was picked from this
+	// tenant (the machine-wide total lives on ms).
+	oomKills atomic.Uint64
 
 	// membersMu guards the member-index slots that partition the
-	// allocator's magazines. A slot returns to the free list when its
+	// tenant's magazines. A slot returns to the free list when its
 	// address space is fully closed (or a fork attempt unwinds), so
 	// retried forks and churning siblings cannot exhaust MaxFamily.
 	// It also guards members, the set of live address spaces the
@@ -283,26 +309,6 @@ type family struct {
 	freeSlots []int
 	nextSlot  int
 	members   map[*AddressSpace]struct{}
-
-	// oomMu serializes killer-of-last-resort invocations: one exhausted
-	// operation reaps at a time, and the ones queued behind it re-run
-	// their allocation against whatever the kill freed before picking
-	// another victim. oomKiller is written under it too (SetOOMKiller).
-	oomMu     sync.Mutex
-	oomKiller func(victim *AddressSpace) bool
-	oomKills  atomic.Uint64
-
-	// reg maps frames back to resident cache pages, for the zap and
-	// COW-break paths' rmap bookkeeping.
-	reg *pagecache.Registry
-	// tlb is the machine's shootdown-gather domain: every zap path
-	// batches its revocations into a tlb.Gather and flushes once —
-	// one shootdown charge and one batched frame release per batch.
-	tlb *tlb.Domain
-	// rec is the machine's reclaim driver: the kswapd-style background
-	// goroutine plus the direct-reclaim entry the fault/fork retry
-	// loops call on ErrFrameShortage.
-	rec *reclaim.Reclaimer
 
 	// filesMu guards the file registry. It is only taken on a file's
 	// first mapping, on stats snapshots, and at teardown — never on the
@@ -321,8 +327,8 @@ type CPU struct {
 	rd *rcu.Reader
 }
 
-// New creates an empty address space.
-func New(cfg Config) (*AddressSpace, error) {
+// normalized fills the Config's defaults.
+func (cfg Config) normalized() Config {
 	if cfg.CPUs <= 0 {
 		cfg.CPUs = 1
 	}
@@ -342,27 +348,19 @@ func New(cfg Config) (*AddressSpace, error) {
 	if cfg.HighWater <= cfg.LowWater {
 		cfg.HighWater = 2 * cfg.LowWater
 	}
-	fam := &family{max: int32(cfg.MaxFamily), members: make(map[*AddressSpace]struct{})}
-	fam.alloc = physmem.New(physmem.Config{
-		Frames: cfg.Frames,
-		// Each family member gets a private partition of magazines:
-		// its fault CPUs plus one mapping-operation magazine.
-		CPUs:      (cfg.CPUs + 1) * cfg.MaxFamily,
-		Backing:   cfg.Backing,
-		LowWater:  cfg.LowWater,
-		HighWater: cfg.HighWater,
-	})
-	fam.dom = rcu.NewDomain(rcu.Options{BatchSize: cfg.RCUBatch})
-	fam.reg = pagecache.NewRegistry(fam.alloc.NumFrames())
-	fam.tlb = tlb.NewDomain(fam.alloc, fam.dom, cfg.shootdownCost())
-	fam.rec = reclaim.New(fam.alloc, fam.dom, reclaim.Config{
-		BatchPages: cfg.ReclaimBatch,
-		TLB:        fam.tlb,
-	})
-	as, err := newMember(cfg, fam)
+	return cfg
+}
+
+// New creates an empty address space on a fresh single-tenant machine
+// — the compat wrapper over the machine/tenant path Host owns. The
+// machine tears down (and leak-checks) when the last family member
+// closes.
+func New(cfg Config) (*AddressSpace, error) {
+	ms := newMachine(cfg.normalized(), 1)
+	as, err := ms.admitTenant(0)
 	if err != nil {
-		fam.rec.Close()
-		fam.dom.Close()
+		// admitTenant already retired the tenant, which — with no Host
+		// holding the machine — tore the machine down too.
 		if errors.Is(err, ErrFrameShortage) {
 			// A brand-new machine has no caches to reclaim from: the
 			// pool simply cannot hold the page-table root. Terminal.
@@ -408,9 +406,9 @@ func (fam *family) removeMember(as *AddressSpace) {
 	fam.membersMu.Unlock()
 }
 
-// SetOOMKiller installs the family's killer of last resort. When an
+// SetOOMKiller installs the machine's killer of last resort. When an
 // operation exhausts its ErrFrameShortage retry budget and a final
-// direct reclaim still makes no progress, the VM picks the live family
+// direct reclaim still makes no progress, the VM picks the live
 // member with the most mapped pages (excluding the caller) and hands
 // it to kill, which must either release that space's memory —
 // typically by Closing it, which requires that no operation on the
@@ -418,11 +416,17 @@ func (fam *family) removeMember(as *AddressSpace) {
 // make — and return true, or decline with false. On true the failed
 // operation retries once with a fresh budget; on false (or with no
 // killer installed) it returns ErrNoMemory. The killer applies
-// family-wide: any member's exhausted operation may invoke it.
+// machine-wide: any member's exhausted operation may invoke it, and
+// the victim is picked from the offending operation's own tenant
+// first — only when that tenant has no reapable sibling does the
+// search widen to the whole machine (pool exhaustion only: a
+// tenant-limit OOM never reaps outside the tenant, because killing a
+// neighbor cannot lower this tenant's charge).
 func (as *AddressSpace) SetOOMKiller(kill func(victim *AddressSpace) bool) {
-	as.fam.oomMu.Lock()
-	as.fam.oomKiller = kill
-	as.fam.oomMu.Unlock()
+	ms := as.fam.ms
+	ms.oomMu.Lock()
+	ms.oomKiller = kill
+	ms.oomMu.Unlock()
 }
 
 // LivePages returns the number of pages currently mapped in this
@@ -452,23 +456,41 @@ func (fam *family) largestVictim(except *AddressSpace) *AddressSpace {
 
 // oomKill runs the killer of last resort on behalf of an operation
 // whose retry budget is exhausted, reporting whether it freed memory
-// worth one more retry. Serialized on oomMu so concurrent exhausted
-// operations reap one victim, not one each; a kill is followed by a
-// domain flush so the reaped space's deferred frame frees are
-// allocatable before the caller retries.
-func (as *AddressSpace) oomKill() bool {
-	fam := as.fam
-	fam.oomMu.Lock()
-	defer fam.oomMu.Unlock()
-	if fam.oomKiller == nil {
+// worth one more retry. Serialized on the machine's oomMu so
+// concurrent exhausted operations reap one victim, not one each; a
+// kill is followed by a domain flush so the reaped space's deferred
+// frame frees are allocatable before the caller retries.
+//
+// Victim selection is tenant-first: the offending operation's own
+// tenant is searched for its largest member before the machine-wide
+// fallback. tenantOnly confines the search to the tenant entirely —
+// the tenant-limit OOM, where an out-of-tenant kill would free pool
+// frames but no charge.
+func (as *AddressSpace) oomKill(tenantOnly bool) bool {
+	fam, ms := as.fam, as.fam.ms
+	ms.oomMu.Lock()
+	defer ms.oomMu.Unlock()
+	if ms.oomKiller == nil {
 		return false
 	}
 	victim := fam.largestVictim(as)
-	if victim == nil || !fam.oomKiller(victim) {
+	victimFam := fam
+	if victim == nil {
+		if tenantOnly {
+			return false
+		}
+		victim = ms.largestVictim(as)
+		if victim == nil {
+			return false
+		}
+		victimFam = victim.fam
+	}
+	if !ms.oomKiller(victim) {
 		return false
 	}
-	fam.oomKills.Add(1)
-	fam.dom.Flush()
+	ms.oomKills.Add(1)
+	victimFam.oomKills.Add(1)
+	ms.dom.Flush()
 	return true
 }
 
@@ -484,8 +506,8 @@ func newMember(cfg Config, fam *family) (*AddressSpace, error) {
 		cfg:    cfg,
 		fam:    fam,
 		member: member,
-		alloc:  fam.alloc,
-		dom:    fam.dom,
+		alloc:  fam.ms.alloc,
+		dom:    fam.ms.dom,
 	}
 	as.mapCPU = as.physCPU(cfg.CPUs)
 	as.tables, err = pagetable.New(as.alloc, as.dom, as.mapCPU, pagetable.Config{
@@ -517,10 +539,11 @@ func newMember(cfg Config, fam *family) (*AddressSpace, error) {
 	return as, nil
 }
 
-// physCPU maps a member-relative CPU id to the family-wide allocator
-// magazine index, so relatives never share a magazine.
+// physCPU maps a member-relative CPU id to the machine-wide allocator
+// magazine index: the tenant's partition base, then the member's slice
+// of it, so neither relatives nor neighbor tenants share a magazine.
 func (as *AddressSpace) physCPU(id int) int {
-	return as.member*(as.cfg.CPUs+1) + id
+	return as.fam.cpuBase + as.member*(as.cfg.CPUs+1) + id
 }
 
 // Design returns the configured concurrency design.
@@ -531,6 +554,14 @@ func (as *AddressSpace) Domain() *rcu.Domain { return as.dom }
 
 // Allocator returns the physical frame allocator (for inspection).
 func (as *AddressSpace) Allocator() *physmem.Allocator { return as.alloc }
+
+// Account returns the tenant's charge account, or nil when the tenant
+// was admitted without a frame limit (every vm.New space).
+func (as *AddressSpace) Account() *physmem.Account { return as.fam.acct }
+
+// Tenant returns the tenant slot this address space's family occupies
+// on its machine (0 for every vm.New space).
+func (as *AddressSpace) Tenant() int { return as.fam.tenant }
 
 // Tables returns the page-table tree (for inspection).
 func (as *AddressSpace) Tables() *pagetable.Tables { return as.tables }
@@ -551,9 +582,10 @@ func (as *AddressSpace) RangeLocked() bool { return as.rl != nil }
 // Close tears down the address space: it unmaps everything, frees its
 // page-table root, and flushes the RCU domain (the one place the
 // mapping side blocks on a grace period). When the last family member
-// closes, it also stops the domain's background reclamation detector
-// and returns an error if any physical frame leaked. No operation on
-// this address space may be in flight.
+// closes, the tenant retires — its caches drop, its account unbinds,
+// its slot recycles — and, if no Host holds the machine open, the
+// whole machine tears down and the frame-leak check's error is
+// returned. No operation on this address space may be in flight.
 func (as *AddressSpace) Close() error {
 	mg := as.lockAll()
 	as.munmapLocked(0, MaxAddress)
@@ -561,22 +593,14 @@ func (as *AddressSpace) Close() error {
 	as.tables.ReleaseRoot(as.mapCPU)
 	as.fam.removeMember(as)
 	last := as.fam.live.Add(-1) == 0
+	var err error
 	if last {
-		// Stop the background reclaimer first (a scan in flight would
-		// race the cache teardown), then release the page caches' frame
-		// references; the deferred frees drain in the domain's closing
-		// flush, so the leak check below sees them.
-		as.fam.rec.Close()
-		as.fam.dropCaches()
-		as.dom.Close()
-		if n := as.alloc.InUse(); n != 0 {
-			return fmt.Errorf("vm: %d frames still allocated after the last family member closed", n)
-		}
+		err = as.fam.ms.retireTenant(as.fam)
 	} else {
 		as.dom.Flush()
 	}
 	as.fam.releaseMember(as.member)
-	return nil
+	return err
 }
 
 // beginMutate enters the mutation phase of a mapping operation: in the
@@ -704,19 +728,14 @@ func (as *AddressSpace) requiredCover(lo, hi uint64, mergePred bool) (uint64, ui
 }
 
 // shootdownCost resolves the configured shootdown parameters into the
-// gather domain's cost model: Base + PerCore × CPUs per flush, with
-// the deprecated flat ShootdownDelay standing in for Base when the new
-// parameters are unset. CPUs spans one address space's fault contexts
-// — the set a real kernel's per-mm cpumask bounds — which is exact for
-// the zap paths (their batches revoke one space's translations) and an
-// approximation for reclaim, whose batch may span several sibling
-// spaces but still pays one space's worth of acknowledgements.
+// gather domain's cost model: Base + PerCore × CPUs per flush. CPUs
+// spans one address space's fault contexts — the set a real kernel's
+// per-mm cpumask bounds — which is exact for the zap paths (their
+// batches revoke one space's translations) and an approximation for
+// reclaim, whose batch may span several sibling spaces but still pays
+// one space's worth of acknowledgements.
 func (cfg Config) shootdownCost() tlb.CostModel {
-	base, per := cfg.ShootdownBase, cfg.ShootdownPerCore
-	if base == 0 && per == 0 {
-		base = cfg.ShootdownDelay
-	}
-	return tlb.CostModel{Base: base, PerCore: per, Cores: cfg.CPUs}
+	return tlb.CostModel{Base: cfg.ShootdownBase, PerCore: cfg.ShootdownPerCore, Cores: cfg.CPUs}
 }
 
 // pageDown rounds addr down to a page boundary.
