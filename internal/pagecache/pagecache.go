@@ -845,6 +845,15 @@ func (c *Cache) ForgetAccount(ac *physmem.Account) {
 	c.mu.Unlock()
 }
 
+// AccountHands returns how many per-account clock hands the cache
+// retains — the churn-leak audit: departed tenants' hands must be
+// swept, or long-lived caches grow one dead entry per departure.
+func (c *Cache) AccountHands() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.clockHands)
+}
+
 // ResidentFor returns the number of resident pages charged to ac (the
 // tenant-eviction leak audit's view of what is still pinned here).
 func (c *Cache) ResidentFor(ac *physmem.Account) int {

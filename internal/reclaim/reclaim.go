@@ -170,6 +170,15 @@ func (r *Reclaimer) UnregisterAccount(ac *physmem.Account) {
 		}
 	}
 	r.accountsMu.Unlock()
+	r.ForgetAccount(ac)
+}
+
+// ForgetAccount drops the per-account clock hand every registered cache
+// keeps for ac. Any ReclaimAccount scan recreates the hand it uses, so
+// the final scan over a departing account — the post-unregister drain —
+// must sweep again, or surviving caches accumulate one dead map entry
+// per departed tenant under admission churn.
+func (r *Reclaimer) ForgetAccount(ac *physmem.Account) {
 	r.cachesMu.Lock()
 	caches := make([]*pagecache.Cache, len(r.caches))
 	copy(caches, r.caches)

@@ -32,19 +32,23 @@ type machine struct {
 	tlb   *tlb.Domain
 	rec   *reclaim.Reclaimer
 
-	// held counts Host handles keeping the machine open across windows
-	// with zero live tenants (arrival/departure churn). When it is zero
-	// — the vm.New path — the machine tears down with its last tenant.
-	held atomic.Int32
-
-	// tenantsMu guards the tenant-slot free list and the live-tenant
-	// set. Tenant slots partition the allocator's magazines exactly
-	// like member slots partition a tenant's share; they recycle the
-	// same way, so admission churn cannot exhaust the table.
+	// tenantsMu guards the tenant-slot free list, the live-tenant set,
+	// the Host hold count, and the teardown latch. Tenant slots
+	// partition the allocator's magazines exactly like member slots
+	// partition a tenant's share; they recycle the same way, so
+	// admission churn cannot exhaust the table.
 	tenantsMu  sync.Mutex
 	tenantFree []int
 	tenantNext int
 	tenants    map[*family]struct{}
+	// held counts Host handles keeping the machine open across windows
+	// with zero live tenants (arrival/departure churn). When it is zero
+	// — the vm.New path — the machine tears down with its last tenant.
+	held int
+	// tornDown latches the one teardown: the last tenant's retire and
+	// the last Host's Close race to observe "no tenants, no holds", and
+	// exactly one of them may stop the reclaimer and close the domain.
+	tornDown bool
 
 	// oomMu serializes killer-of-last-resort invocations machine-wide:
 	// one exhausted operation reaps at a time, and the ones queued
@@ -148,18 +152,25 @@ func (ms *machine) admitTenant(limitFrames int64) (*AddressSpace, error) {
 // reclaimer stopped, RCU domain closed — and the frame-leak check
 // runs.
 func (ms *machine) retireTenant(fam *family) error {
-	ms.tenantsMu.Lock()
-	delete(ms.tenants, fam)
-	lastTenant := len(ms.tenants) == 0
-	ms.tenantFree = append(ms.tenantFree, fam.tenant)
-	ms.tenantsMu.Unlock()
+	// Unbind the charge account before the slot becomes reusable: once
+	// fam.tenant is on the free list, a concurrent admitTenant may bind
+	// its fresh account to this exact CPU range, and unbinding after
+	// that would silently strip the new tenant's accounting.
 	if fam.acct != nil {
 		ms.rec.UnregisterAccount(fam.acct)
 		for cpu := fam.cpuBase; cpu < fam.cpuBase+ms.tenantSpan(); cpu++ {
 			ms.alloc.BindAccount(cpu, nil)
 		}
 	}
-	if lastTenant && ms.held.Load() == 0 {
+	ms.tenantsMu.Lock()
+	delete(ms.tenants, fam)
+	ms.tenantFree = append(ms.tenantFree, fam.tenant)
+	last := len(ms.tenants) == 0 && ms.held == 0 && !ms.tornDown
+	if last {
+		ms.tornDown = true
+	}
+	ms.tenantsMu.Unlock()
+	if last {
 		// Stop the background reclaimer first (a scan in flight would
 		// race the cache teardown), then release the page caches' frame
 		// references; the deferred frees drain in the domain's closing
@@ -226,7 +237,7 @@ type Host struct {
 // tenant windows; Close it to tear the machine down.
 func NewHost(cfg Config, maxTenants int) *Host {
 	ms := newMachine(cfg.normalized(), maxTenants)
-	ms.held.Add(1)
+	ms.held = 1
 	return &Host{ms: ms}
 }
 
@@ -275,22 +286,36 @@ func (h *Host) DrainAccount(ac *physmem.Account) int64 {
 			break
 		}
 	}
+	// The drain scans recreated clock hands for ac in every cache they
+	// touched; ac is departed, so drop them again.
+	h.ms.rec.ForgetAccount(ac)
 	h.ms.dom.Flush()
 	return ac.Charged()
 }
 
 // Close tears the machine down. Every tenant must already be retired
-// (all members closed); the frame-leak check's error is returned.
+// (all members closed); the frame-leak check's error is returned. The
+// hold count, the live-tenant check, and the teardown latch are read
+// and written in one tenantsMu critical section so a racing
+// retireTenant of the last tenant cannot also decide to tear down.
 func (h *Host) Close() error {
-	if h.ms.held.Add(-1) != 0 {
+	ms := h.ms
+	ms.tenantsMu.Lock()
+	ms.held--
+	if ms.held != 0 {
+		ms.tenantsMu.Unlock()
 		return nil
 	}
-	h.ms.tenantsMu.Lock()
-	live := len(h.ms.tenants)
-	h.ms.tenantsMu.Unlock()
-	if live != 0 {
-		h.ms.held.Add(1)
+	if live := len(ms.tenants); live != 0 {
+		ms.held++
+		ms.tenantsMu.Unlock()
 		return fmt.Errorf("%w: Host.Close with %d live tenants", ErrInvalid, live)
 	}
-	return h.ms.teardown()
+	if ms.tornDown {
+		ms.tenantsMu.Unlock()
+		return nil
+	}
+	ms.tornDown = true
+	ms.tenantsMu.Unlock()
+	return ms.teardown()
 }
