@@ -28,6 +28,7 @@ import (
 	"bonsai/internal/sim"
 	"bonsai/internal/skiplist"
 	"bonsai/internal/torture"
+	"bonsai/internal/trace"
 	"bonsai/internal/vm"
 	"bonsai/internal/vma"
 	"bonsai/internal/workload"
@@ -343,6 +344,11 @@ func benchDisjointMmap(b *testing.B, mode vm.RangeLockMode) {
 	b.ReportMetric(float64(st.MaxHeld), "max-writers")
 	b.ReportMetric(float64(st.Acquires), "range-acquires")
 	b.ReportMetric(float64(st.Conflicts), "range-conflicts")
+	l := as.LatencySnapshot()
+	b.ReportMetric(float64(l.MapOp.P99Ns), "mapop-p99-ns")
+	b.ReportMetric(float64(l.RangeWait.P50Ns), "range-wait-p50-ns")
+	b.ReportMetric(float64(l.RangeWait.P99Ns), "range-wait-p99-ns")
+	b.ReportMetric(float64(l.RangeWait.P999Ns), "range-wait-p999-ns")
 	if err := as.Close(); err != nil {
 		b.Fatal(err)
 	}
@@ -510,6 +516,11 @@ func benchSharedFileFault(b *testing.B, d vm.Design) {
 	b.ReportMetric(float64(st.PageCacheMisses), "pc-fills")
 	b.ReportMetric(float64(st.PageCacheCoalesced), "pc-coalesced")
 	b.ReportMetric(float64(st.PageCacheDirty), "pc-dirty")
+	l := as.LatencySnapshot()
+	b.ReportMetric(float64(l.Fault.P50Ns), "fault-p50-ns")
+	b.ReportMetric(float64(l.Fault.P99Ns), "fault-p99-ns")
+	b.ReportMetric(float64(l.Fault.P999Ns), "fault-p999-ns")
+	b.ReportMetric(float64(l.GP.P99Ns), "gp-p99-ns")
 	if err := as.Close(); err != nil {
 		b.Fatal(err)
 	}
@@ -965,5 +976,66 @@ func BenchmarkMultiTenantSoak(b *testing.B) {
 		b.ReportMetric(float64(rep.CrossTenantEvictions), "tenant-fairness")
 		b.ReportMetric(float64(rep.Ops)/2.0, "soak-ops/s")
 		b.ReportMetric(float64(rep.Evicted), "soak-tenants")
+	}
+}
+
+// ---- Trace-overhead benchmark (the flight recorder's cost) ----
+
+// traceStorm is the deterministic fault storm both halves of
+// BenchmarkTraceOverhead time: every arena page write-faulted, then
+// the arena MADV_DONTNEED-zapped so the next round faults again.
+func traceStorm(b *testing.B, as *vm.AddressSpace, cpu *vm.CPU, base uint64, pages, rounds int) {
+	for r := 0; r < rounds; r++ {
+		for p := 0; p < pages; p++ {
+			if err := cpu.Fault(base+uint64(p)*vm.PageSize, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := as.MadviseDontNeed(base, uint64(pages)*vm.PageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceOverhead times the same single-CPU fault storm with
+// the flight recorder disarmed and armed and reports the relative
+// cost. Disarmed, every instrumentation site is one atomic pointer
+// load and a branch — the same compiled-in discipline as
+// internal/fail — so the disarmed storm is the baseline fault path
+// cost and trace-overhead-pct is what arming the rings adds.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const pages, rounds = 256, 40
+	storm := func(armed bool) time.Duration {
+		as, err := vm.New(vm.Config{Design: vm.PureRCU, CPUs: 1, Frames: 1 << 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := as.Mmap(0, pages*vm.PageSize, vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cpu := as.NewCPU(0)
+		if armed {
+			trace.Arm(2, trace.DefaultRingSize)
+		}
+		traceStorm(b, as, cpu, base, pages, 2) // warm up the arena and caches
+		start := time.Now()
+		traceStorm(b, as, cpu, base, pages, rounds)
+		elapsed := time.Since(start)
+		if armed {
+			trace.Disarm()
+		}
+		if err := as.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return elapsed
+	}
+	for i := 0; i < b.N; i++ {
+		disarmed := storm(false)
+		armed := storm(true)
+		faults := float64(pages * rounds)
+		b.ReportMetric(disarmed.Seconds()*1e9/faults, "disarmed-fault-ns")
+		b.ReportMetric(armed.Seconds()*1e9/faults, "armed-fault-ns")
+		b.ReportMetric((armed.Seconds()/disarmed.Seconds()-1)*100, "trace-overhead-pct")
 	}
 }

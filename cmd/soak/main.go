@@ -6,12 +6,20 @@
 // machine-readable soak report (per-tenant fault p50/p99/p999 and the
 // reclaim-fairness metric) as JSON on stdout and exits non-zero on
 // any gate violation: a cross-tenant eviction while every tenant was
-// under its limit, or a leaked frame after every tenant departed.
+// under its limit, a leaked frame after every tenant departed, or a
+// fault p999 above -p999-gate.
+//
+// With -trace the flight recorder runs for the whole soak; on a gate
+// failure (or always, with -trace-dump-always) the last events per
+// CPU ring are dumped to -trace-dump for cmd/vmtrace / chrome://tracing
+// post-mortems. -vmstat prints a periodic machine-delta line to
+// stderr while the run is in flight.
 //
 // Usage:
 //
 //	go run ./cmd/soak -duration 45s -tenants 8
 //	go run ./cmd/soak -seed 7 -design rwlock -limit 128 -v
+//	go run ./cmd/soak -trace -trace-dump /tmp/soak -p999-gate 50ms -vmstat 2s
 package main
 
 import (
@@ -19,10 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"bonsai/internal/machine"
+	"bonsai/internal/trace"
 	"bonsai/internal/vm"
 )
 
@@ -35,6 +45,13 @@ func main() {
 	frames := flag.Uint64("frames", 0, "machine pool size in frames (0 = 2x the sum of limits)")
 	design := flag.String("design", "purercu", "design: rwlock, faultlock, hybrid, purercu")
 	verbose := flag.Bool("v", false, "print per-seat progress to stderr")
+	p999Gate := flag.Duration("p999-gate", 0, "fail the run if fault p999 exceeds this (0 = off)")
+	vmstat := flag.Duration("vmstat", 0, "print a vmstat-style machine delta line every interval (0 = off)")
+	traceOn := flag.Bool("trace", false, "arm the flight-recorder event tracer for the run")
+	traceDump := flag.String("trace-dump", "", "directory for ring dumps on gate failure (implies -trace)")
+	traceAlways := flag.Bool("trace-dump-always", false, "dump the rings even on a passing run")
+	traceRings := flag.Int("trace-rings", 16, "per-CPU trace rings (+1 aux)")
+	traceRingSize := flag.Int("trace-ring-size", trace.DefaultRingSize, "events kept per ring (rounded up to a power of two)")
 	flag.Parse()
 
 	d, err := parseDesign(*design)
@@ -56,8 +73,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	if *vmstat > 0 {
+		cfg.SampleEvery = *vmstat
+		cfg.Sample = newVmstat(time.Now())
+	}
+
+	if *traceDump != "" {
+		*traceOn = true
+	}
+	if *traceOn {
+		trace.Arm(*traceRings, *traceRingSize)
+	}
 
 	rep := machine.Soak(cfg)
+
+	failed := rep.Failed()
+	if *p999Gate > 0 && rep.FaultP999NS > int64(*p999Gate) {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("p999 gate: fault p999 %v exceeds %v", time.Duration(rep.FaultP999NS), *p999Gate))
+		failed = true
+	}
+
+	if t := trace.Disarm(); t != nil && *traceDump != "" && (failed || *traceAlways) {
+		path := filepath.Join(*traceDump, fmt.Sprintf("soak-seed%d.vmtrace", rep.Seed))
+		if err := t.DumpFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "soak: trace dump: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "soak: trace dumped to %s (inspect with go run ./cmd/vmtrace)\n", path)
+		}
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -65,7 +109,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if rep.Failed() {
+	if failed {
 		fmt.Fprintf(os.Stderr, "soak: FAILED with %d violations (replay: -seed %d)\n", len(rep.Violations), rep.Seed)
 		for _, v := range rep.Violations {
 			fmt.Fprintf(os.Stderr, "  %s\n", v)
@@ -74,6 +118,42 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "soak: ok — %d tenants churned, %d faults, p99 %dns, 0 cross-tenant evictions\n",
 		rep.Evicted, rep.Faults, rep.FaultP99NS)
+}
+
+// newVmstat returns a Sample hook that prints one delta line per call:
+// the counters' change since the previous sample, vmstat-style.
+func newVmstat(start time.Time) func(machine.Snapshot) {
+	var prev machine.Snapshot
+	first := true
+	return func(sn machine.Snapshot) {
+		if first {
+			fmt.Fprintln(os.Stderr,
+				"vmstat:    t  frames  tenants  d-fault  d-mapop  d-scan  d-evict   d-wb  d-gp  d-oom  fault-p99")
+			first = false
+		}
+		evicted := func(s machine.Snapshot) uint64 {
+			return s.Reclaim.KswapdEvicted + s.Reclaim.DirectEvicted + s.Reclaim.AccountEvicted
+		}
+		scans := func(s machine.Snapshot) uint64 {
+			return s.Reclaim.KswapdCycles + s.Reclaim.DirectRuns + s.Reclaim.AccountRuns
+		}
+		// Fault/map-op counts live in the tenants' address spaces, so
+		// an eviction between samples can shrink the rollup: those two
+		// deltas are signed.
+		fmt.Fprintf(os.Stderr, "vmstat: %4.0fs %7d %8d %8d %8d %7d %8d %6d %5d %6d %10v\n",
+			time.Since(start).Seconds(),
+			sn.FramesInUse,
+			len(sn.Tenants),
+			int64(sn.Latency.Fault.Count)-int64(prev.Latency.Fault.Count),
+			int64(sn.Latency.MapOp.Count)-int64(prev.Latency.MapOp.Count),
+			scans(sn)-scans(prev),
+			evicted(sn)-evicted(prev),
+			sn.Reclaim.Writebacks-prev.Reclaim.Writebacks,
+			sn.Latency.GP.Count-prev.Latency.GP.Count,
+			sn.OOMKills-prev.OOMKills,
+			time.Duration(sn.Latency.Fault.P99Ns))
+		prev = sn
+	}
 }
 
 func parseDesign(name string) (vm.Design, error) {

@@ -3,20 +3,28 @@
 // with machine-wide invariant audits, printing a replayable seed and
 // exiting non-zero on any violation.
 //
+// With -trace the flight recorder runs for the whole torture; the
+// auditor stamps an event into it at every violation, and on a failing
+// run (or always, with -trace-dump-always) the rings are dumped to
+// -trace-dump for cmd/vmtrace / chrome://tracing post-mortems.
+//
 // Usage:
 //
 //	go run ./cmd/torture -seed 1 -duration 60s
 //	go run ./cmd/torture -seed 1 -designs purercu -faults=false
+//	go run ./cmd/torture -trace -trace-dump /tmp/torture
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"bonsai/internal/torture"
+	"bonsai/internal/trace"
 	"bonsai/internal/vm"
 )
 
@@ -28,6 +36,11 @@ func main() {
 	frames := flag.Uint64("frames", 0, "machine size in frames (0 = torture default)")
 	designs := flag.String("designs", "", "comma-separated subset: rwlock,faultlock,hybrid,purercu (default all)")
 	verbose := flag.Bool("v", false, "print per-design progress")
+	traceOn := flag.Bool("trace", false, "arm the flight-recorder event tracer for the run")
+	traceDump := flag.String("trace-dump", "", "directory for ring dumps on a failing run (implies -trace)")
+	traceAlways := flag.Bool("trace-dump-always", false, "dump the rings even on a passing run")
+	traceRings := flag.Int("trace-rings", 16, "per-CPU trace rings (+1 aux)")
+	traceRingSize := flag.Int("trace-ring-size", trace.DefaultRingSize, "events kept per ring (rounded up to a power of two)")
 	flag.Parse()
 
 	cfg := torture.Config{
@@ -51,6 +64,13 @@ func main() {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		}
+	}
+
+	if *traceDump != "" {
+		*traceOn = true
+	}
+	if *traceOn {
+		trace.Arm(*traceRings, *traceRingSize)
 	}
 
 	rep := torture.Run(cfg)
@@ -78,6 +98,14 @@ func main() {
 	if silent > 0 {
 		ok = false
 		fmt.Printf("FAIL: %d armed failpoint(s) never fired — coverage regression, not a passing run\n", silent)
+	}
+	if t := trace.Disarm(); t != nil && *traceDump != "" && (!ok || *traceAlways) {
+		path := filepath.Join(*traceDump, fmt.Sprintf("torture-seed%d.vmtrace", rep.Seed))
+		if err := t.DumpFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "torture: trace dump: %v\n", err)
+		} else {
+			fmt.Printf("trace dumped to %s (inspect with go run ./cmd/vmtrace)\n", path)
+		}
 	}
 	if !ok {
 		fmt.Printf("replay: go run ./cmd/torture -seed %d -duration %v -faults=%v\n", rep.Seed, *duration, *faults)

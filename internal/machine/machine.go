@@ -16,6 +16,7 @@ import (
 
 	"bonsai/internal/physmem"
 	"bonsai/internal/reclaim"
+	"bonsai/internal/stats"
 	"bonsai/internal/vm"
 )
 
@@ -278,6 +279,12 @@ type Snapshot struct {
 	TenantsEvicted  uint64                 `json:"tenants_evicted"`
 	Tenants         []TenantSnapshot       `json:"tenants,omitempty"`
 	Departed        []physmem.AccountStats `json:"departed,omitempty"`
+	// Latency is the machine-wide hot-path latency rollup: fault,
+	// mapping-operation, and range-wait histograms merged across every
+	// live tenant's member spaces, plus the machine-shared grace-period
+	// and reclaim-scan histograms. Departed tenants' samples are gone —
+	// the histograms live in their address spaces.
+	Latency vm.LatencySnapshot `json:"latency"`
 	// CrossTenantEvictions is the reclaim-fairness metric: pages
 	// evicted from accounts that were under their limit at eviction
 	// time, summed over live and departed tenants. While every tenant
@@ -308,6 +315,7 @@ func (m *Machine) Snapshot() Snapshot {
 	sn.FramesInUse = alloc.InUse()
 	sn.Reclaim = m.host.ReclaimStats()
 	sn.OOMKills = m.host.OOMKills()
+	var fault, mapOp, rangeWait stats.LatencyHist
 	for _, t := range live {
 		ts := TenantSnapshot{Name: t.name, Limit: t.limit, Space: t.root.Stats()}
 		if t.acct != nil {
@@ -316,6 +324,20 @@ func (m *Machine) Snapshot() Snapshot {
 			sn.CrossTenantEvictions += st.EvictionsUnderLimit
 		}
 		sn.Tenants = append(sn.Tenants, ts)
+		for _, as := range t.Spaces() {
+			fault.Merge(as.FaultHist())
+			mapOp.Merge(as.MapHist())
+			if rw := as.RangeWaitHist(); rw != nil {
+				rangeWait.Merge(rw)
+			}
+		}
+	}
+	sn.Latency = vm.LatencySnapshot{
+		Fault:       fault.Stats(),
+		MapOp:       mapOp.Stats(),
+		RangeWait:   rangeWait.Stats(),
+		GP:          m.host.Domain().GPHist().Stats(),
+		ReclaimScan: m.host.Reclaimer().ScanHist().Stats(),
 	}
 	return sn
 }

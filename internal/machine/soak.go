@@ -40,6 +40,11 @@ type SoakConfig struct {
 	Frames uint64
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// Sample, when non-nil, receives a machine snapshot every
+	// SampleEvery (default 1s) while the run is in flight — the hook
+	// behind cmd/soak's vmstat-style delta sampler.
+	Sample      func(Snapshot)
+	SampleEvery time.Duration
 }
 
 // SoakTenantReport is one seat's aggregate across every tenant
@@ -125,6 +130,30 @@ func Soak(cfg SoakConfig) *SoakReport {
 		MaxTenants: cfg.Slots,
 	})
 
+	var samplerStop chan struct{}
+	var samplerDone sync.WaitGroup
+	if cfg.Sample != nil {
+		every := cfg.SampleEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		samplerStop = make(chan struct{})
+		samplerDone.Add(1)
+		go func() {
+			defer samplerDone.Done()
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-samplerStop:
+					return
+				case <-tick.C:
+					cfg.Sample(s.m.Snapshot())
+				}
+			}
+		}()
+	}
+
 	deadline := time.Now().Add(cfg.Duration)
 	var wg sync.WaitGroup
 	seats := make([]*seat, cfg.Slots)
@@ -137,6 +166,10 @@ func Soak(cfg SoakConfig) *SoakReport {
 		}(seats[i])
 	}
 	wg.Wait()
+	if samplerStop != nil {
+		close(samplerStop)
+		samplerDone.Wait()
+	}
 
 	// Every seat evicted its last tenant; whatever is still allocated
 	// now is a leak (no Host-held frame is legitimate with no tenant).

@@ -58,6 +58,7 @@ import (
 	"bonsai/internal/physmem"
 	"bonsai/internal/rcu"
 	"bonsai/internal/tlb"
+	"bonsai/internal/trace"
 )
 
 // I/O error taxonomy. ErrIO is the base every simulated device error
@@ -607,6 +608,7 @@ func (c *Cache) writebackLocked(pg *Page) (bool, error) {
 	}
 	if failWBRetry.Fire() {
 		c.wbErrsRetry.Add(1)
+		trace.Emit(trace.AuxCPU, trace.EvWriteback, c.fileID, pg.off/physmem.PageSize, 1)
 		return false, ErrWritebackIO
 	}
 	if !pg.dirty.Swap(false) {
@@ -616,6 +618,7 @@ func (c *Cache) writebackLocked(pg *Page) (bool, error) {
 	if failWBSticky.Fire() {
 		c.wbErrsSticky.Add(1)
 		c.wbErr = ErrStickyIO
+		trace.Emit(trace.AuxCPU, trace.EvWriteback, c.fileID, pg.off/physmem.PageSize, 1)
 		return false, ErrStickyIO
 	}
 	if c.alloc.Backed() {
@@ -630,6 +633,7 @@ func (c *Cache) writebackLocked(pg *Page) (bool, error) {
 		*buf = *c.alloc.Data(pg.frame)
 	}
 	c.writebacks.Add(1)
+	trace.Emit(trace.AuxCPU, trace.EvWriteback, c.fileID, pg.off/physmem.PageSize, 0)
 	return true, nil
 }
 
@@ -719,9 +723,13 @@ func (c *Cache) ReclaimScanFor(acct *physmem.Account, batch int, force bool, g *
 	examine := func(pg *Page) bool {
 		setHand(pg.off + physmem.PageSize)
 		if acct != nil && c.alloc.Owner(pg.frame) != acct {
+			trace.Emit(trace.AuxCPU, trace.EvPageVerdict, c.fileID,
+				pg.off/physmem.PageSize, trace.VerdictSkipped)
 			return true // another tenant's page: invisible to this scan
 		}
 		if !force && pg.accessed.Swap(false) {
+			trace.Emit(trace.AuxCPU, trace.EvPageVerdict, c.fileID,
+				pg.off/physmem.PageSize, trace.VerdictSecondChance)
 			return true // referenced since the last pass: second chance
 		}
 		pg.rmapMu.Lock()
@@ -786,6 +794,8 @@ func (c *Cache) ReclaimScanFor(acct *physmem.Account, batch int, force bool, g *
 			// keep it (its new PTEs were never revoked).
 			pg.rmapMu.Unlock()
 			c.evictAborts.Add(1)
+			trace.Emit(trace.AuxCPU, trace.EvPageVerdict, c.fileID,
+				pg.off/physmem.PageSize, trace.VerdictAbort)
 			continue
 		}
 		// Deleting under the rmap mutex closes the window against a
@@ -829,6 +839,12 @@ func (c *Cache) ReclaimScanFor(acct *physmem.Account, batch int, force bool, g *
 		frame := pg.frame
 		c.dom.Defer(func() { c.alloc.FreeRemote(frame) })
 		evicted++
+		verdict := trace.VerdictEvicted
+		if wrote {
+			verdict = trace.VerdictWriteback
+		}
+		trace.Emit(trace.AuxCPU, trace.EvPageVerdict, c.fileID,
+			pg.off/physmem.PageSize, verdict)
 	}
 	c.resident.Add(int64(-evicted))
 	c.evictions.Add(uint64(evicted))

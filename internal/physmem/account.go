@@ -3,6 +3,8 @@ package physmem
 import (
 	"errors"
 	"sync/atomic"
+
+	"bonsai/internal/trace"
 )
 
 // ErrOverLimit is returned by Alloc when the CPU's bound Account is at
@@ -21,6 +23,7 @@ var ErrOverLimit = errors.New("physmem: account frame limit exceeded")
 // and may be read concurrently with charging.
 type Account struct {
 	name string
+	tag  uint64 // FNV-1a of name; the trace's account identity
 
 	// limit is the charge ceiling in frames; 0 means unlimited.
 	// Charging fails (ErrOverLimit) once charged would exceed it.
@@ -42,10 +45,25 @@ type Account struct {
 // NewAccount returns an account with the given name and frame limit
 // (0 = unlimited).
 func NewAccount(name string, limit int64) *Account {
-	ac := &Account{name: name}
+	ac := &Account{name: name, tag: hashTag(name)}
 	ac.limit.Store(limit)
 	return ac
 }
+
+// hashTag is FNV-1a over the account name: a stable 64-bit identity
+// trace events carry, since a ring record can't hold the string.
+func hashTag(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Tag returns the account's trace identity (FNV-1a of its name), the
+// value EvTenantCharge/EvTenantRefuse events carry in arg a.
+func (ac *Account) Tag() uint64 { return ac.tag }
 
 // Name returns the account's name.
 func (ac *Account) Name() string { return ac.name }
@@ -78,8 +96,10 @@ func (ac *Account) tryCharge() bool {
 	if lim > 0 && n > lim {
 		ac.charged.Add(-1)
 		ac.limitHits.Add(1)
+		trace.Emit(trace.AuxCPU, trace.EvTenantRefuse, ac.tag, uint64(n-1), uint64(lim))
 		return false
 	}
+	trace.Emit(trace.AuxCPU, trace.EvTenantCharge, ac.tag, uint64(n), uint64(lim))
 	for {
 		max := ac.maxCharged.Load()
 		if n <= max || ac.maxCharged.CompareAndSwap(max, n) {

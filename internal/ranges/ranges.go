@@ -21,16 +21,28 @@ package ranges
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"bonsai/internal/stats"
+	"bonsai/internal/trace"
 )
 
 // Guard is one granted or queued range-lock request. A granted Guard
 // must be released exactly once with Unlock.
 type Guard struct {
 	m      *Manager
+	id     uint64 // unique per manager; the trace's holder attribution
 	lo, hi uint64
 	ready  chan struct{} // closed when the lock is granted
 	done   bool          // released (manager mutex held when written)
+	// grantedAt is stamped at grant time only while the tracer is
+	// armed, so the disarmed grant path pays no clock read.
+	grantedAt time.Time
 }
+
+// ID returns the guard's manager-unique id, the value trace events
+// use to attribute held ranges to their holder.
+func (g *Guard) ID() uint64 { return g.id }
 
 // Lo returns the inclusive lower bound of the locked range.
 func (g *Guard) Lo() uint64 { return g.lo }
@@ -56,16 +68,24 @@ type Manager struct {
 	conflicts uint64 // requests that had to wait
 	tryFails  uint64 // TryLock calls refused
 	maxHeld   int    // high-water of concurrently held locks
+	nextID    uint64 // guard id source
+
+	// waitHist is the always-on latency histogram of contended Lock
+	// waits — the tail the per-VMA-locks roadmap item will have to
+	// beat. Uncontended grants don't record (they'd bury the tail in
+	// zeros).
+	waitHist stats.LatencyHist
 }
 
 // Stats is a snapshot of a Manager's counters.
 type Stats struct {
-	Acquires  uint64 // locks granted over the manager's lifetime
-	Conflicts uint64 // Lock calls that blocked on a conflicting range
-	TryFails  uint64 // TryLock calls refused because of a conflict
-	MaxHeld   int    // most locks held concurrently (max parallel writers)
-	Held      int    // locks currently held
-	Waiting   int    // requests currently queued
+	Acquires  uint64             `json:"acquires"`  // locks granted over the manager's lifetime
+	Conflicts uint64             `json:"conflicts"` // Lock calls that blocked on a conflicting range
+	TryFails  uint64             `json:"try_fails"` // TryLock calls refused because of a conflict
+	MaxHeld   int                `json:"max_held"`  // most locks held concurrently (max parallel writers)
+	Held      int                `json:"held"`      // locks currently held
+	Waiting   int                `json:"waiting"`   // requests currently queued
+	Wait      stats.LatencyStats `json:"wait"`      // contended-wait latency percentiles
 }
 
 // Stats returns a snapshot of the manager's counters.
@@ -79,8 +99,13 @@ func (m *Manager) Stats() Stats {
 		MaxHeld:   m.maxHeld,
 		Held:      len(m.held),
 		Waiting:   len(m.queue),
+		Wait:      m.waitHist.Stats(),
 	}
 }
+
+// WaitHist exposes the contended-wait histogram for merging into
+// machine-level latency rollups.
+func (m *Manager) WaitHist() *stats.LatencyHist { return &m.waitHist }
 
 func checkRange(lo, hi uint64) {
 	if lo >= hi {
@@ -105,11 +130,18 @@ func (m *Manager) conflictsLocked(lo, hi uint64) bool {
 }
 
 // grantLocked moves g into the held set. The manager mutex is held.
+// Trace emission here takes no locks of its own (see the lock
+// hierarchy note in the README): it is a few atomic stores into the
+// ring, safe under m.mu.
 func (m *Manager) grantLocked(g *Guard) {
 	m.held = append(m.held, g)
 	m.acquires++
 	if len(m.held) > m.maxHeld {
 		m.maxHeld = len(m.held)
+	}
+	if trace.Armed() {
+		g.grantedAt = time.Now()
+		trace.Emit(trace.AuxCPU, trace.EvRangeAcquire, g.id, g.lo, g.hi)
 	}
 }
 
@@ -119,6 +151,8 @@ func (m *Manager) Lock(lo, hi uint64) *Guard {
 	checkRange(lo, hi)
 	g := &Guard{m: m, lo: lo, hi: hi}
 	m.mu.Lock()
+	g.id = m.nextID
+	m.nextID++
 	if !m.conflictsLocked(lo, hi) {
 		m.grantLocked(g)
 		m.mu.Unlock()
@@ -128,7 +162,11 @@ func (m *Manager) Lock(lo, hi uint64) *Guard {
 	m.queue = append(m.queue, g)
 	m.conflicts++
 	m.mu.Unlock()
+	waitStart := time.Now()
 	<-g.ready
+	wait := time.Since(waitStart)
+	m.waitHist.Record(wait)
+	trace.Emit(trace.AuxCPU, trace.EvRangeWait, g.id, g.lo, uint64(wait))
 	return g
 }
 
@@ -143,7 +181,8 @@ func (m *Manager) TryLock(lo, hi uint64) (*Guard, bool) {
 		m.tryFails++
 		return nil, false
 	}
-	g := &Guard{m: m, lo: lo, hi: hi}
+	g := &Guard{m: m, lo: lo, hi: hi, id: m.nextID}
+	m.nextID++
 	m.grantLocked(g)
 	return g, true
 }
@@ -198,6 +237,10 @@ func (g *Guard) Unlock() {
 			m.held = append(m.held[:i], m.held[i+1:]...)
 			break
 		}
+	}
+	if !g.grantedAt.IsZero() {
+		trace.Emit(trace.AuxCPU, trace.EvRangeRelease, g.id, g.lo,
+			uint64(time.Since(g.grantedAt)))
 	}
 	// Promote waiters. Earlier waiters that stay queued block later
 	// overlapping ones, preserving FIFO fairness among conflicts while

@@ -38,6 +38,8 @@ import (
 	"time"
 
 	"bonsai/internal/fail"
+	"bonsai/internal/stats"
+	"bonsai/internal/trace"
 )
 
 // failGPDelay stretches grace periods (armed only by fault injection;
@@ -89,6 +91,10 @@ type Domain struct {
 	gpMaxNanos   atomic.Uint64
 	pendingHW    atomic.Int64
 	overBudget   atomic.Uint64
+
+	// gpHist is the always-on grace-period latency histogram: the
+	// reclamation-delay tail every deferred free rides on.
+	gpHist stats.LatencyHist
 }
 
 // shard is one callback segment. Shards are padded so concurrent
@@ -299,6 +305,7 @@ func (d *Domain) DeferOn(hint int, fn func()) {
 	s.queued.Add(1)
 	s.mu.Unlock()
 	n := s.pending()
+	trace.Emit(trace.AuxCPU, trace.EvRCUDefer, e, uint64(uint32(hint)&d.shardMask), uint64(n))
 
 	if d.opts.BatchSize < 0 {
 		return // manual mode: drained only by Synchronize/Flush
@@ -378,7 +385,8 @@ func (d *Domain) Close() {
 func (d *Domain) gracePeriodLocked() {
 	start := time.Now()
 	target := d.epoch.Add(1) // readers that observe >= target started after us
-	d.gracePeriods.Add(1)
+	gpID := d.gracePeriods.Add(1)
+	trace.Emit(trace.AuxCPU, trace.EvGPStart, gpID, target, 0)
 	if delay := failGPDelay.FireDelay(); delay > 0 {
 		// Injected grace-period stall: the detector (or a synchronous
 		// waiter) sits on the epoch while callbacks pile up behind it.
@@ -393,9 +401,10 @@ func (d *Domain) gracePeriodLocked() {
 	for _, r := range readers {
 		waitQuiescent(r, target)
 	}
-	d.drainAll(target)
+	ran := d.drainAll(target)
 
-	nanos := uint64(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	nanos := uint64(elapsed.Nanoseconds())
 	d.gpTotalNanos.Add(nanos)
 	for {
 		max := d.gpMaxNanos.Load()
@@ -403,6 +412,8 @@ func (d *Domain) gracePeriodLocked() {
 			break
 		}
 	}
+	d.gpHist.Record(elapsed)
+	trace.Emit(trace.AuxCPU, trace.EvGPEnd, gpID, uint64(ran), nanos)
 }
 
 // waitQuiescent blocks until the reader is quiescent or started its
@@ -432,16 +443,17 @@ func waitQuiescent(r *Reader, target uint64) {
 }
 
 // drainAll runs all callbacks queued at an epoch strictly before
-// target. The grace period advancing the domain to target has already
-// elapsed. Callbacks run outside the shard locks, so a callback may
-// itself Defer.
-func (d *Domain) drainAll(target uint64) {
+// target, returning how many ran. The grace period advancing the
+// domain to target has already elapsed. Callbacks run outside the
+// shard locks, so a callback may itself Defer.
+func (d *Domain) drainAll(target uint64) int {
 	var total int64
 	for i := range d.shards {
 		total += d.shards[i].pending()
 	}
 	d.noteHighWater(total)
 
+	ranTotal := 0
 	for i := range d.shards {
 		s := &d.shards[i]
 		// Swap the segment out under the lock, run callbacks outside it
@@ -483,8 +495,10 @@ func (d *Domain) drainAll(target uint64) {
 		if ran > 0 {
 			s.drained.Add(uint64(ran))
 			s.drains.Add(1)
+			ranTotal += ran
 		}
 	}
+	return ranTotal
 }
 
 // noteHighWater records the largest pending-callback count ever
@@ -519,12 +533,17 @@ type Stats struct {
 	PendingHighWater int    // max pending sampled at grace-period boundaries
 	OverBudget       uint64 // Defers that found their shard over the backpressure budget
 
-	GPLatencyAvg time.Duration // mean grace-period latency
-	GPLatencyMax time.Duration // worst grace-period latency
+	GPLatencyAvg time.Duration      // mean grace-period latency
+	GPLatencyMax time.Duration      // worst grace-period latency
+	GP           stats.LatencyStats // grace-period latency percentiles
 
 	ShardQueued []uint64 // per-shard callbacks ever queued
 	ShardDrains []uint64 // per-shard drain passes that removed callbacks
 }
+
+// GPHist exposes the grace-period latency histogram for machine-level
+// latency rollups.
+func (d *Domain) GPHist() *stats.LatencyHist { return &d.gpHist }
 
 // Stats returns a snapshot of the domain's counters.
 func (d *Domain) Stats() Stats {
@@ -534,6 +553,7 @@ func (d *Domain) Stats() Stats {
 		PendingHighWater: int(d.pendingHW.Load()),
 		OverBudget:       d.overBudget.Load(),
 		GPLatencyMax:     time.Duration(d.gpMaxNanos.Load()),
+		GP:               d.gpHist.Stats(),
 		ShardQueued:      make([]uint64, len(d.shards)),
 		ShardDrains:      make([]uint64, len(d.shards)),
 	}

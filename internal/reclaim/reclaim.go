@@ -35,7 +35,9 @@ import (
 	"bonsai/internal/pagecache"
 	"bonsai/internal/physmem"
 	"bonsai/internal/rcu"
+	"bonsai/internal/stats"
 	"bonsai/internal/tlb"
+	"bonsai/internal/trace"
 )
 
 // failStall makes a direct-reclaim run report zero progress (armed
@@ -99,6 +101,11 @@ type Reclaimer struct {
 	writebacks     atomic.Uint64
 	scanPasses     atomic.Uint64
 	stalls         atomic.Uint64
+
+	// scanSeq numbers scans for trace start/end pairing; scanHist is
+	// the always-on scan-duration histogram (time under the scan lock).
+	scanSeq  atomic.Uint64
+	scanHist stats.LatencyHist
 }
 
 // New returns a running Reclaimer: its background goroutine is parked
@@ -317,6 +324,13 @@ func (r *Reclaimer) DirectReclaim() bool {
 // stranded in per-CPU magazines are free, just unreachable from an
 // empty global pool.
 func (r *Reclaimer) reclaim(target int, force bool) (drained, evictedN int) {
+	kind := trace.ScanGlobal
+	if force {
+		kind = trace.ScanDirect
+	}
+	scanID := r.scanSeq.Add(1)
+	trace.Emit(trace.AuxCPU, trace.EvReclaimScanStart, scanID, uint64(target), kind)
+	scanStart := time.Now()
 	r.scanMu.Lock()
 	freed := r.alloc.DrainMagazines()
 	evicted, written := 0, 0
@@ -369,6 +383,10 @@ func (r *Reclaimer) reclaim(target int, force bool) (drained, evictedN int) {
 		g.Flush()
 	}
 	r.scanMu.Unlock()
+	elapsed := time.Since(scanStart)
+	r.scanHist.Record(elapsed)
+	trace.Emit(trace.AuxCPU, trace.EvReclaimScanEnd, scanID, uint64(evicted),
+		uint64(elapsed))
 
 	if evicted > 0 {
 		r.writebacks.Add(uint64(written))
@@ -395,6 +413,10 @@ func (r *Reclaimer) ReclaimAccount(ac *physmem.Account, target int) int {
 		target = r.cfg.BatchPages
 	}
 	r.accountRuns.Add(1)
+	scanID := r.scanSeq.Add(1)
+	trace.Emit(trace.AuxCPU, trace.EvReclaimScanStart, scanID, uint64(target),
+		trace.ScanTenant)
+	scanStart := time.Now()
 	r.scanMu.Lock()
 	r.cachesMu.Lock()
 	caches := make([]*pagecache.Cache, len(r.caches))
@@ -412,6 +434,10 @@ func (r *Reclaimer) ReclaimAccount(ac *physmem.Account, target int) int {
 		g.Flush()
 	}
 	r.scanMu.Unlock()
+	elapsed := time.Since(scanStart)
+	r.scanHist.Record(elapsed)
+	trace.Emit(trace.AuxCPU, trace.EvReclaimScanEnd, scanID, uint64(evicted),
+		uint64(elapsed))
 	if evicted > 0 {
 		r.writebacks.Add(uint64(written))
 		r.accountEvicted.Add(uint64(evicted))
@@ -453,6 +479,8 @@ type Stats struct {
 	Writebacks     uint64 // dirty pages written back before eviction
 	ScanPasses     uint64 // clock passes over the cache rotation
 	InjectedStalls uint64 // direct-reclaim runs failed by the stall failpoint
+
+	Scan stats.LatencyStats // scan-duration percentiles (time under the scan lock)
 }
 
 // Stats returns a snapshot of the reclaimer's counters.
@@ -467,5 +495,10 @@ func (r *Reclaimer) Stats() Stats {
 		Writebacks:     r.writebacks.Load(),
 		ScanPasses:     r.scanPasses.Load(),
 		InjectedStalls: r.stalls.Load(),
+		Scan:           r.scanHist.Stats(),
 	}
 }
+
+// ScanHist exposes the scan-duration histogram for machine-level
+// latency rollups.
+func (r *Reclaimer) ScanHist() *stats.LatencyHist { return &r.scanHist }

@@ -74,6 +74,37 @@ func (h *LatencyHist) Merge(o *LatencyHist) {
 	}
 }
 
+// LatencyStats is a JSON-ready percentile snapshot of a LatencyHist,
+// the shape every latency surface (vm.StatsSnapshot, machine.Snapshot,
+// benchjson) reports.
+type LatencyStats struct {
+	Count  uint64 `json:"count"`
+	P50Ns  int64  `json:"p50_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+	P999Ns int64  `json:"p999_ns"`
+	MaxNs  int64  `json:"max_ns"`
+}
+
+// Stats snapshots the histogram's count and p50/p99/p999/max. Safe
+// concurrently with Record; the percentiles are consistent to within
+// the samples that land mid-snapshot.
+func (h *LatencyHist) Stats() LatencyStats {
+	s := LatencyStats{Count: h.n.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.P50Ns = int64(h.Percentile(50))
+	s.P99Ns = int64(h.Percentile(99))
+	s.P999Ns = int64(h.Percentile(99.9))
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.counts[i].Load() != 0 {
+			s.MaxNs = int64(histValue(i))
+			break
+		}
+	}
+	return s
+}
+
 // Percentile returns the approximate p-th percentile (0 < p ≤ 100) of
 // the recorded samples, or 0 when the histogram is empty.
 func (h *LatencyHist) Percentile(p float64) time.Duration {

@@ -38,6 +38,7 @@ import (
 	"bonsai/internal/fail"
 	"bonsai/internal/physmem"
 	"bonsai/internal/rcu"
+	"bonsai/internal/trace"
 )
 
 // failFlushDelay inflates a flush's shootdown charge (armed only by
@@ -159,6 +160,8 @@ func (g *Gather) Flush() {
 	if g.pages > 0 {
 		g.d.flushes.Add(1)
 		g.d.pages.Add(uint64(g.pages))
+		trace.Emit(g.shard, trace.EvTLBFlush, uint64(g.pages), g.hi-g.lo,
+			uint64(g.d.cost))
 		spinWait(g.d.cost)
 		if delay := failFlushDelay.FireDelay(); delay > 0 {
 			spinWait(delay)

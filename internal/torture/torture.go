@@ -34,6 +34,7 @@ import (
 
 	"bonsai/internal/fail"
 	"bonsai/internal/pagecache"
+	"bonsai/internal/trace"
 	"bonsai/internal/vm"
 	"bonsai/internal/vma"
 )
@@ -174,6 +175,9 @@ func (t *run) violate(format string, args ...any) {
 	defer t.mu.Unlock()
 	if len(t.report.Violations) < maxViolations {
 		t.report.Violations = append(t.report.Violations, fmt.Sprintf(format, args...))
+		// Land a marker in the flight recorder so a post-mortem trace
+		// dump shows what the machine was doing when the invariant broke.
+		trace.Emit(trace.AuxCPU, trace.EvViolation, uint64(len(t.report.Violations)), 0, 0)
 	}
 }
 

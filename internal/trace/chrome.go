@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry in the Chrome trace_event JSON format
+// (what chrome://tracing and Perfetto's legacy importer load).
+// Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]uint64 `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the dump as Chrome trace_event JSON: paired
+// enter/exit spans become complete ("X") events on their ring's
+// track, everything else an instant ("i"). pid 0 is the whole
+// machine; tid is the ring (magazine partition) id, so per-CPU
+// interleaving reads directly off the timeline.
+func (d *Dump) WriteChrome(w io.Writer) error {
+	events := d.Merged()
+	spans, orphans := PairSpans(events)
+	out := chromeTrace{DisplayUnit: "ns", TraceEvents: make([]chromeEvent, 0, len(spans)+len(events))}
+	paired := make(map[[2]uint64]bool, 2*len(spans)) // (ring, seq) of consumed events
+	orphaned := make(map[[2]uint64]bool, len(orphans))
+	for _, o := range orphans {
+		orphaned[[2]uint64{uint64(o.Ring), o.Seq}] = true
+	}
+	for _, s := range spans {
+		paired[[2]uint64{uint64(s.Ring), s.Enter.Seq}] = true
+		paired[[2]uint64{uint64(s.Ring), s.Exit.Seq}] = true
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Type.String(),
+			Ph:   "X",
+			TS:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Duration()) / 1e3,
+			PID:  0,
+			TID:  s.Ring,
+			Args: map[string]uint64{
+				"a": s.Enter.A, "b": s.Enter.B, "c": s.Enter.C,
+				"exit_b": s.Exit.B, "exit_c": s.Exit.C,
+			},
+		})
+	}
+	for _, ev := range events {
+		if paired[[2]uint64{uint64(ev.Ring), ev.Seq}] {
+			continue
+		}
+		name := ev.Type.String()
+		if orphaned[[2]uint64{uint64(ev.Ring), ev.Seq}] {
+			name = name + " (orphan)"
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name,
+			Ph:   "i",
+			TS:   float64(ev.TS) / 1e3,
+			PID:  0,
+			TID:  ev.Ring,
+			S:    "t",
+			Args: map[string]uint64{"a": ev.A, "b": ev.B, "c": ev.C},
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("trace: chrome export: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Dump is a decoded trace: the flight-recorder window of every ring.
+type Dump struct {
+	// StartUnixNano is the wall clock at arm time; event timestamps
+	// are ns offsets from it.
+	StartUnixNano int64
+	Rings         []RingDump
+}
+
+// RingDump is one ring's surviving records, oldest first.
+type RingDump struct {
+	ID     int
+	Events []Event
+}
+
+// Merged returns every ring's events in one slice sorted by timestamp
+// (ring, then sequence as tie-breakers), the view the toolchain
+// filters and reports on.
+func (d *Dump) Merged() []Event {
+	var n int
+	for _, r := range d.Rings {
+		n += len(r.Events)
+	}
+	out := make([]Event, 0, n)
+	for _, r := range d.Rings {
+		out = append(out, r.Events...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		if out[i].Ring != out[j].Ring {
+			return out[i].Ring < out[j].Ring
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Binary dump format, little-endian throughout:
+//
+//	magic   [8]byte "VMTRACE1"
+//	start   int64   wall-clock ns at arm
+//	nrings  uint32
+//	per ring:
+//	  id    uint32
+//	  count uint32
+//	  per record: seq, ts, meta, a, b, c uint64 (48 bytes)
+//
+// meta packs type<<48 | uint16(cpu)<<32, matching the in-memory slot.
+var dumpMagic = [8]byte{'V', 'M', 'T', 'R', 'A', 'C', 'E', '1'}
+
+const (
+	recordBytes = 48
+	// maxRingRecords bounds a single ring's claimed record count so a
+	// corrupt or adversarial header can't make the decoder allocate
+	// unbounded memory before hitting EOF.
+	maxRingRecords = 1 << 24
+	maxRings       = 1 << 16
+)
+
+// WriteTo encodes a live snapshot of the tracer. Safe concurrently
+// with writers (torn records are skipped, not written).
+func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
+	return t.Snapshot().WriteTo(w)
+}
+
+// WriteTo encodes the dump in the binary format.
+func (d *Dump) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(dumpMagic); err != nil {
+		return n, err
+	}
+	if err := write(d.StartUnixNano); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(d.Rings))); err != nil {
+		return n, err
+	}
+	for _, r := range d.Rings {
+		if err := write(uint32(r.ID)); err != nil {
+			return n, err
+		}
+		if err := write(uint32(len(r.Events))); err != nil {
+			return n, err
+		}
+		for _, ev := range r.Events {
+			rec := [6]uint64{
+				ev.Seq,
+				ev.TS,
+				uint64(ev.Type)<<48 | uint64(uint16(ev.CPU))<<32,
+				ev.A, ev.B, ev.C,
+			}
+			if err := write(rec); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// DumpFile writes the tracer's snapshot to path, creating parent
+// directories as needed.
+func (t *Tracer) DumpFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ErrBadDump reports a malformed trace dump.
+var ErrBadDump = errors.New("trace: malformed dump")
+
+// Decode parses a binary dump. It never panics on malformed or
+// truncated input — it returns ErrBadDump-wrapped errors instead, the
+// property FuzzTraceDecode locks in.
+func Decode(r io.Reader) (*Dump, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: short magic: %v", ErrBadDump, err)
+	}
+	if magic != dumpMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadDump, magic[:])
+	}
+	d := &Dump{}
+	if err := binary.Read(br, binary.LittleEndian, &d.StartUnixNano); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadDump, err)
+	}
+	var nrings uint32
+	if err := binary.Read(br, binary.LittleEndian, &nrings); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadDump, err)
+	}
+	if nrings > maxRings {
+		return nil, fmt.Errorf("%w: %d rings", ErrBadDump, nrings)
+	}
+	for i := uint32(0); i < nrings; i++ {
+		var id, count uint32
+		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+			return nil, fmt.Errorf("%w: ring %d header: %v", ErrBadDump, i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, fmt.Errorf("%w: ring %d header: %v", ErrBadDump, i, err)
+		}
+		if count > maxRingRecords {
+			return nil, fmt.Errorf("%w: ring %d claims %d records", ErrBadDump, i, count)
+		}
+		rd := RingDump{ID: int(id), Events: make([]Event, 0, min(count, 4096))}
+		for j := uint32(0); j < count; j++ {
+			var rec [6]uint64
+			if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+				return nil, fmt.Errorf("%w: ring %d record %d: %v", ErrBadDump, i, j, err)
+			}
+			cpu := int(int16(uint16(rec[2] >> 32)))
+			rd.Events = append(rd.Events, Event{
+				Seq:  rec[0],
+				TS:   rec[1],
+				Type: Type(rec[2] >> 48),
+				CPU:  cpu,
+				Ring: int(id),
+				A:    rec[3],
+				B:    rec[4],
+				C:    rec[5],
+			})
+		}
+		d.Rings = append(d.Rings, rd)
+	}
+	return d, nil
+}
+
+// DecodeFile parses the dump at path.
+func DecodeFile(path string) (*Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceDecode locks in the decoder's two contracts: arbitrary
+// bytes never panic (they error), and anything that does decode
+// re-encodes and re-decodes to the identical dump (a fixed point, so
+// toolchain passes are lossless).
+func FuzzTraceDecode(f *testing.F) {
+	// Seed with a real dump...
+	tr := New(2, 8)
+	tr.Emit(0, EvFaultEnter, 0x1000, 1, 0)
+	tr.Emit(0, EvFaultExit, 0x1000, FaultFast, 500)
+	tr.Emit(1, EvRangeWait, 9, 0x10, 250)
+	tr.Emit(AuxCPU, EvGPStart, 1, 2, 0)
+	var seed bytes.Buffer
+	if _, err := tr.Snapshot().WriteTo(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	// ...and with structured near-misses.
+	f.Add([]byte("VMTRACE1"))
+	f.Add([]byte("VMTRACE2junkjunkjunk"))
+	f.Add(append(seed.Bytes()[:20:20], 0xff, 0xff, 0xff, 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting malformed input is correct
+		}
+		var once bytes.Buffer
+		if _, err := d.WriteTo(&once); err != nil {
+			t.Fatalf("re-encode of decoded dump failed: %v", err)
+		}
+		onceBytes := append([]byte(nil), once.Bytes()...)
+		d2, err := Decode(bytes.NewReader(onceBytes))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		var twice bytes.Buffer
+		if _, err := d2.WriteTo(&twice); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(onceBytes, twice.Bytes()) {
+			t.Fatal("encode(decode(x)) is not a fixed point")
+		}
+	})
+}

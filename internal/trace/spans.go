@@ -1,0 +1,105 @@
+package trace
+
+import "sort"
+
+// Span is a paired enter/exit interval reconstructed from a ring.
+type Span struct {
+	Type  Type // the enter event's type
+	Ring  int
+	CPU   int
+	Start uint64 // ns since arm
+	End   uint64
+	Enter Event
+	Exit  Event
+}
+
+// Duration returns the span's length in ns.
+func (s Span) Duration() uint64 {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// spanPairs maps each enter type to its exit type. Pairing is keyed on
+// arg A (fault address, map address, GP id, scan id), which both ends
+// of a pair carry.
+var spanPairs = map[Type]Type{
+	EvFaultEnter:       EvFaultExit,
+	EvMapEnter:         EvMapExit,
+	EvGPStart:          EvGPEnd,
+	EvReclaimScanStart: EvReclaimScanEnd,
+}
+
+var spanExits = func() map[Type]Type {
+	m := make(map[Type]Type, len(spanPairs))
+	for enter, exit := range spanPairs {
+		m[exit] = enter
+	}
+	return m
+}()
+
+// PairSpans reconstructs enter→exit spans per ring. Rings overwrite
+// oldest-first, so an exit whose enter was overwritten is expected —
+// it is returned in orphans rather than silently dropped or, worse,
+// matched to a later enter. Unmatched enters (still-open spans at
+// capture time) are orphans too. Events must be a Merged()-style or
+// per-ring slice; ordering within a ring is restored internally.
+func PairSpans(events []Event) (spans []Span, orphans []Event) {
+	byRing := map[int][]Event{}
+	for _, ev := range events {
+		byRing[ev.Ring] = append(byRing[ev.Ring], ev)
+	}
+	ringIDs := make([]int, 0, len(byRing))
+	for id := range byRing {
+		ringIDs = append(ringIDs, id)
+	}
+	sort.Ints(ringIDs)
+	for _, id := range ringIDs {
+		evs := byRing[id]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+		// open spans in this ring, keyed by (enter type, arg A);
+		// a stack per key handles re-entrant ids (shouldn't happen,
+		// but a trace is evidence — never corrupt it).
+		type key struct {
+			t Type
+			a uint64
+		}
+		open := map[key][]Event{}
+		for _, ev := range evs {
+			if _, isEnter := spanPairs[ev.Type]; isEnter {
+				k := key{ev.Type, ev.A}
+				open[k] = append(open[k], ev)
+				continue
+			}
+			enterType, isExit := spanExits[ev.Type]
+			if !isExit {
+				continue
+			}
+			k := key{enterType, ev.A}
+			stack := open[k]
+			if len(stack) == 0 {
+				// Enter was overwritten by the ring wrapping.
+				orphans = append(orphans, ev)
+				continue
+			}
+			enter := stack[len(stack)-1]
+			open[k] = stack[:len(stack)-1]
+			spans = append(spans, Span{
+				Type:  enter.Type,
+				Ring:  ev.Ring,
+				CPU:   ev.CPU,
+				Start: enter.TS,
+				End:   ev.TS,
+				Enter: enter,
+				Exit:  ev,
+			})
+		}
+		for _, stack := range open {
+			orphans = append(orphans, stack...)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].TS < orphans[j].TS })
+	return spans, orphans
+}

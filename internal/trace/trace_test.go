@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestDisarmedEmitIsNop: package-level Emit with no armed tracer must
+// be safe and record nothing.
+func TestDisarmedEmitIsNop(t *testing.T) {
+	Disarm()
+	Emit(0, EvFaultEnter, 1, 2, 3)
+	if Armed() {
+		t.Fatal("tracer armed without Arm")
+	}
+}
+
+// TestArmDisarm: Arm publishes, Emit lands, Disarm returns the tracer
+// with its window intact.
+func TestArmDisarm(t *testing.T) {
+	tr := Arm(2, 16)
+	defer Disarm()
+	Emit(0, EvFaultEnter, 0x1000, 1, 0)
+	Emit(1, EvFaultExit, 0x1000, FaultFast, 42)
+	Emit(AuxCPU, EvGPStart, 7, 0, 0)
+	got := Disarm()
+	if got != tr {
+		t.Fatalf("Disarm returned %p, want %p", got, tr)
+	}
+	d := got.Snapshot()
+	all := d.Merged()
+	if len(all) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(all), all)
+	}
+	// Aux events land on the trailing ring with CPU -1.
+	var sawAux bool
+	for _, ev := range all {
+		if ev.Type == EvGPStart {
+			sawAux = true
+			if ev.CPU != AuxCPU || ev.Ring != tr.Rings()-1 {
+				t.Fatalf("aux event on cpu=%d ring=%d", ev.CPU, ev.Ring)
+			}
+		}
+	}
+	if !sawAux {
+		t.Fatal("aux event missing")
+	}
+}
+
+// TestOverwriteWrap: a full ring keeps exactly the newest records, in
+// order, with correct sequence numbers.
+func TestOverwriteWrap(t *testing.T) {
+	tr := New(1, 8)
+	const total = 100
+	for i := 0; i < total; i++ {
+		tr.Emit(0, EvFaultEnter, uint64(i), 0, 0)
+	}
+	d := tr.Snapshot()
+	if len(d.Rings) != 1 {
+		t.Fatalf("got %d rings, want 1", len(d.Rings))
+	}
+	evs := d.Rings[0].Events
+	if len(evs) != tr.RingSize() {
+		t.Fatalf("got %d events, want ring size %d", len(evs), tr.RingSize())
+	}
+	for i, ev := range evs {
+		wantA := uint64(total - tr.RingSize() + i)
+		if ev.A != wantA || ev.Seq != wantA {
+			t.Fatalf("event %d: a=%d seq=%d, want %d (newest %d survive, ordered)",
+				i, ev.A, ev.Seq, wantA, tr.RingSize())
+		}
+	}
+}
+
+// TestConcurrentWritersReaderSnapshot (run under -race): hammer one
+// ring from many writers while a reader snapshots continuously. Every
+// returned event must be internally consistent — the seqlock must
+// never hand back a torn record. Writers stamp c = a ^ b ^ magic so a
+// mixed-up payload is detectable.
+func TestConcurrentWritersReaderSnapshot(t *testing.T) {
+	const magic = 0x5eed5eed5eed5eed
+	tr := New(2, 64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := uint64(w)<<32 | i
+				b := i * 3
+				tr.Emit(0, EvFaultEnter, a, b, a^b^magic)
+			}
+		}(w)
+	}
+	for r := 0; r < 200; r++ {
+		d := tr.Snapshot()
+		for _, ring := range d.Rings {
+			for _, ev := range ring.Events {
+				if ev.Type != EvFaultEnter {
+					t.Fatalf("torn record: type %v", ev.Type)
+				}
+				if ev.C != ev.A^ev.B^magic {
+					t.Fatalf("torn record: a=%x b=%x c=%x", ev.A, ev.B, ev.C)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSpanPairingDroppedEnters: exits whose enters were overwritten
+// must come back as orphans, never mis-paired with a later enter.
+func TestSpanPairingDroppedEnters(t *testing.T) {
+	evs := []Event{
+		// Complete pair at addr 0x1000.
+		{Ring: 0, Seq: 10, TS: 100, Type: EvFaultEnter, A: 0x1000},
+		{Ring: 0, Seq: 11, TS: 150, Type: EvFaultExit, A: 0x1000, C: 50},
+		// Exit whose enter was overwritten (no Seq<20 enter for 0x2000).
+		{Ring: 0, Seq: 20, TS: 200, Type: EvFaultExit, A: 0x2000},
+		// A LATER enter at the same addr must not adopt that exit.
+		{Ring: 0, Seq: 21, TS: 210, Type: EvFaultEnter, A: 0x2000},
+		{Ring: 0, Seq: 22, TS: 260, Type: EvFaultExit, A: 0x2000},
+		// Open span at capture time → orphan enter.
+		{Ring: 0, Seq: 30, TS: 300, Type: EvGPStart, A: 7},
+		// Pairing is per-ring: same addr on another ring is distinct.
+		{Ring: 1, Seq: 5, TS: 120, Type: EvFaultEnter, A: 0x1000},
+		{Ring: 1, Seq: 6, TS: 180, Type: EvFaultExit, A: 0x1000},
+	}
+	spans, orphans := PairSpans(evs)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Fatalf("negative span: %+v", s)
+		}
+		if s.Enter.Ring != s.Exit.Ring {
+			t.Fatalf("cross-ring pair: %+v", s)
+		}
+	}
+	// The overwritten exit (Seq 20) and the open GP enter (Seq 30).
+	if len(orphans) != 2 {
+		t.Fatalf("got %d orphans, want 2: %+v", len(orphans), orphans)
+	}
+	var sawExit, sawEnter bool
+	for _, o := range orphans {
+		if o.Seq == 20 && o.Type == EvFaultExit {
+			sawExit = true
+		}
+		if o.Seq == 30 && o.Type == EvGPStart {
+			sawEnter = true
+		}
+	}
+	if !sawExit || !sawEnter {
+		t.Fatalf("wrong orphans: %+v", orphans)
+	}
+}
+
+// TestDumpRoundTrip: encode → decode preserves every field.
+func TestDumpRoundTrip(t *testing.T) {
+	tr := New(2, 16)
+	tr.Emit(0, EvFaultEnter, 0x1000, 1, 2)
+	tr.Emit(0, EvFaultExit, 0x1000, FaultFast, 999)
+	tr.Emit(1, EvTLBFlush, 64, 128, 4096)
+	tr.Emit(AuxCPU, EvGPEnd, 3, 17, 123456)
+	want := tr.Snapshot()
+	var buf bytes.Buffer
+	if _, err := want.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StartUnixNano != want.StartUnixNano {
+		t.Fatalf("start: got %d want %d", got.StartUnixNano, want.StartUnixNano)
+	}
+	if len(got.Rings) != len(want.Rings) {
+		t.Fatalf("rings: got %d want %d", len(got.Rings), len(want.Rings))
+	}
+	for i := range want.Rings {
+		if got.Rings[i].ID != want.Rings[i].ID {
+			t.Fatalf("ring %d id: got %d want %d", i, got.Rings[i].ID, want.Rings[i].ID)
+		}
+		if len(got.Rings[i].Events) != len(want.Rings[i].Events) {
+			t.Fatalf("ring %d: got %d events want %d", i, len(got.Rings[i].Events), len(want.Rings[i].Events))
+		}
+		for j, w := range want.Rings[i].Events {
+			if got.Rings[i].Events[j] != w {
+				t.Fatalf("ring %d event %d: got %+v want %+v", i, j, got.Rings[i].Events[j], w)
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsGarbage: malformed inputs error instead of
+// panicking or allocating unboundedly.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTATRACEFILE AT ALL"),
+		// Valid magic, truncated header.
+		append([]byte("VMTRACE1"), 1, 2, 3),
+		// Valid magic + start, absurd ring count.
+		append(append([]byte("VMTRACE1"), make([]byte, 8)...), 0xff, 0xff, 0xff, 0xff),
+	}
+	for i, in := range cases {
+		if _, err := Decode(bytes.NewReader(in)); err == nil {
+			t.Fatalf("case %d: decode accepted garbage", i)
+		}
+	}
+}
+
+// TestChromeExport: the exporter produces valid JSON with a
+// traceEvents array containing both span and instant phases.
+func TestChromeExport(t *testing.T) {
+	tr := New(1, 16)
+	tr.Emit(0, EvFaultEnter, 0x1000, 1, 0)
+	tr.Emit(0, EvFaultExit, 0x1000, FaultSlow|FaultCOW, 777)
+	tr.Emit(0, EvTLBFlush, 8, 8, 1000)
+	var buf bytes.Buffer
+	if err := tr.Snapshot().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	var sawX, sawI bool
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			sawX = true
+			if ev.Name != "fault_enter" {
+				t.Fatalf("span name %q", ev.Name)
+			}
+		case "i":
+			sawI = true
+		}
+	}
+	if !sawX || !sawI {
+		t.Fatalf("missing phases: X=%v i=%v\n%s", sawX, sawI, buf.String())
+	}
+}

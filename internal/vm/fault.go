@@ -10,6 +10,7 @@ import (
 	"bonsai/internal/pagetable"
 	"bonsai/internal/physmem"
 	"bonsai/internal/tlb"
+	"bonsai/internal/trace"
 	"bonsai/internal/vma"
 )
 
@@ -38,7 +39,35 @@ func (c *CPU) Fault(addr uint64, write bool) error {
 	}
 	page := pageDown(addr)
 	as.stats.faults.Add(1)
-	return as.retryShortage(func() error { return c.fault(page, write) })
+	c.pathFlags = 0
+	if trace.Armed() {
+		var w uint64
+		if write {
+			w = 1
+		}
+		trace.Emit(c.id, trace.EvFaultEnter, page, w, uint64(as.cfg.Design))
+	}
+	start := time.Now()
+	err := as.retryShortage(func() error {
+		err := c.fault(page, write)
+		if err != nil && (errors.Is(err, ErrFrameShortage) || errors.Is(err, ErrTenantShortage)) {
+			c.pathFlags |= trace.FaultShortageRetry
+		}
+		return err
+	})
+	elapsed := time.Since(start)
+	as.stats.faultHist.Record(elapsed)
+	if trace.Armed() {
+		flags := c.pathFlags
+		if flags&trace.FaultSlow == 0 {
+			flags |= trace.FaultFast
+		}
+		if err != nil {
+			flags |= trace.FaultError
+		}
+		trace.Emit(c.id, trace.EvFaultExit, page, flags, uint64(elapsed))
+	}
+	return err
 }
 
 // oomRetries bounds consecutive no-progress direct-reclaim attempts
@@ -88,7 +117,12 @@ func (as *AddressSpace) retryShortage(op func() error) error {
 			return err
 		}
 		as.stats.reclaimRetries.Add(1)
+		var tb uint64
+		if tenant {
+			tb = 1
+		}
 		if attempt < shortageRetryBudget && as.reclaimForShortageKind(tenant) {
+			trace.Emit(trace.AuxCPU, trace.EvOOMKill, trace.OomDirectReclaim, tb, uint64(attempt+1))
 			continue
 		}
 		if kills == 0 && as.oomKill(tenant) {
@@ -96,6 +130,7 @@ func (as *AddressSpace) retryShortage(op func() error) error {
 			attempt = -1 // fresh budget against the reaped memory
 			continue
 		}
+		trace.Emit(trace.AuxCPU, trace.EvOOMKill, trace.OomGiveUp, tb, uint64(attempt+1))
 		if tenant {
 			return fmt.Errorf("%w: tenant frame limit exhausted after %d attempts and nothing evictable in-tenant", ErrNoMemory, attempt+1)
 		}
@@ -256,6 +291,10 @@ func (c *CPU) faultRCU(page uint64, write bool) error {
 func (c *CPU) faultSlow(page uint64, write bool, reason retryReason) error {
 	as := c.as
 	as.stats.retry(reason)
+	c.pathFlags |= trace.FaultSlow
+	if reason == retryCow {
+		c.pathFlags |= trace.FaultCOW
+	}
 	if as.rl != nil {
 		return c.faultSlowRanged(page, write)
 	}
@@ -469,6 +508,7 @@ func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool,
 		// dirty transition was handled under the PTE lock by onUpgrade).
 		if !sharedFile {
 			as.stats.cowBreaks.Add(1)
+			c.pathFlags |= trace.FaultCOW
 		}
 	default:
 		as.stats.faultsAlreadyMapped.Add(1) // a concurrent fault won
@@ -505,6 +545,7 @@ func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool,
 // next FindOrCreate fills a fresh page.
 func (c *CPU) makeFilePTE(v *vma.VMA, pc *pagecache.Cache, page uint64, write, locked bool) (uint64, error) {
 	as := c.as
+	c.pathFlags |= trace.FaultFileFill
 	off := v.FileOffset(page)
 	if locked {
 		// The lock-held fault paths are not RCU readers; the cache's

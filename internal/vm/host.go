@@ -259,6 +259,10 @@ func (h *Host) Domain() *rcu.Domain { return h.ms.dom }
 // ReclaimStats returns the machine's reclaim counters.
 func (h *Host) ReclaimStats() reclaim.Stats { return h.ms.rec.Stats() }
 
+// Reclaimer exposes the machine's shared reclaimer (for latency-
+// histogram rollups).
+func (h *Host) Reclaimer() *reclaim.Reclaimer { return h.ms.rec }
+
 // OOMKills returns the machine-wide count of OOM-killer reaps.
 func (h *Host) OOMKills() uint64 { return h.ms.oomKills.Load() }
 

@@ -4,6 +4,7 @@ import (
 	"bonsai/internal/pagetable"
 	"bonsai/internal/physmem"
 	"bonsai/internal/tlb"
+	"bonsai/internal/trace"
 )
 
 // MadviseDontNeed discards the pages of [addr, addr+length), as
@@ -21,6 +22,12 @@ import (
 // the zap; one that fills just after keeps it — both are legal
 // MADV_DONTNEED outcomes.
 func (as *AddressSpace) MadviseDontNeed(addr, length uint64) error {
+	return as.mapOp(trace.OpMadvise, addr, length, func() error {
+		return as.madviseInner(addr, length)
+	})
+}
+
+func (as *AddressSpace) madviseInner(addr, length uint64) error {
 	if addr%PageSize != 0 || length == 0 {
 		return ErrInvalid
 	}

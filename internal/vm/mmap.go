@@ -1,9 +1,30 @@
 package vm
 
 import (
+	"time"
+
 	"bonsai/internal/ranges"
+	"bonsai/internal/trace"
 	"bonsai/internal/vma"
 )
+
+// mapOp wraps one mapping operation with the always-on latency
+// histogram and the tracer's enter/exit span events (paired on the
+// request address). The trace cost is a nil check when disarmed.
+func (as *AddressSpace) mapOp(op uint64, addr, length uint64, fn func() error) error {
+	trace.Emit(as.mapCPU, trace.EvMapEnter, addr, op, length)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	as.stats.mapHist.Record(elapsed)
+	if trace.Armed() {
+		if err != nil {
+			op |= trace.OpErr
+		}
+		trace.Emit(as.mapCPU, trace.EvMapExit, addr, op, uint64(elapsed))
+	}
+	return err
+}
 
 // Mmap creates a mapping of length bytes and returns its base address.
 //
@@ -16,6 +37,17 @@ import (
 // extends that region instead of creating a new one (§4: "an mmap
 // adjacent to an existing VMA may simply extend that VMA").
 func (as *AddressSpace) Mmap(addr, length uint64, prot vma.Prot, flags vma.Flags,
+	file *vma.File, fileOff uint64) (uint64, error) {
+	var base uint64
+	err := as.mapOp(trace.OpMmap, addr, length, func() error {
+		var err error
+		base, err = as.mmapInner(addr, length, prot, flags, file, fileOff)
+		return err
+	})
+	return base, err
+}
+
+func (as *AddressSpace) mmapInner(addr, length uint64, prot vma.Prot, flags vma.Flags,
 	file *vma.File, fileOff uint64) (uint64, error) {
 	if length == 0 {
 		return 0, ErrInvalid
@@ -195,6 +227,12 @@ func (as *AddressSpace) findGap(hint, length uint64, steer bool) (uint64, bool) 
 // addr and length must be page-aligned (length is rounded up). Like the
 // system call, unmapping a range with no mappings succeeds.
 func (as *AddressSpace) Munmap(addr, length uint64) error {
+	return as.mapOp(trace.OpMunmap, addr, length, func() error {
+		return as.munmapInner(addr, length)
+	})
+}
+
+func (as *AddressSpace) munmapInner(addr, length uint64) error {
 	if addr%PageSize != 0 || length == 0 {
 		return ErrInvalid
 	}

@@ -1,6 +1,9 @@
 package vm
 
-import "bonsai/internal/vma"
+import (
+	"bonsai/internal/trace"
+	"bonsai/internal/vma"
+)
 
 // Mprotect changes the protection of every whole page in
 // [addr, addr+length), splitting regions at the boundaries as the
@@ -16,6 +19,12 @@ import "bonsai/internal/vma"
 // under the PTE locks; a write-enabling change leaves PTEs read-only
 // and lets write faults upgrade them on demand.
 func (as *AddressSpace) Mprotect(addr, length uint64, prot vma.Prot) error {
+	return as.mapOp(trace.OpMprotect, addr, length, func() error {
+		return as.mprotectInner(addr, length, prot)
+	})
+}
+
+func (as *AddressSpace) mprotectInner(addr, length uint64, prot vma.Prot) error {
 	if addr%PageSize != 0 || length == 0 {
 		return ErrInvalid
 	}

@@ -9,10 +9,18 @@ import (
 	"bonsai/internal/physmem"
 	"bonsai/internal/ranges"
 	"bonsai/internal/reclaim"
+	"bonsai/internal/stats"
 )
 
-// statsCounters holds the address space's atomic counters.
+// statsCounters holds the address space's atomic counters and its
+// always-on hot-path latency histograms.
 type statsCounters struct {
+	// faultHist spans the whole Fault call — fast path, slow retries,
+	// reclaim ladder and all; mapHist spans Mmap/Munmap/Mprotect/
+	// Madvise calls end to end. Both are lock-free and always on.
+	faultHist stats.LatencyHist
+	mapHist   stats.LatencyHist
+
 	faults              atomic.Uint64
 	faultsAlreadyMapped atomic.Uint64
 	pagesMapped         atomic.Uint64
@@ -205,6 +213,57 @@ func (as *AddressSpace) ReclaimStats() reclaim.Stats {
 	return as.fam.ms.rec.Stats()
 }
 
+// LatencySnapshot gathers the machine's always-on hot-path latency
+// histograms in percentile form: the tail-attribution data the
+// throughput counters above cannot express.
+type LatencySnapshot struct {
+	// Fault spans CPU.Fault end to end (fast path through OOM ladder).
+	Fault stats.LatencyStats `json:"fault"`
+	// MapOp spans Mmap/Munmap/Mprotect/MadviseDontNeed calls.
+	MapOp stats.LatencyStats `json:"map_op"`
+	// RangeWait is the contended range-lock wait (zeros for designs on
+	// the global mmap_sem).
+	RangeWait stats.LatencyStats `json:"range_wait"`
+	// GP is the RCU grace-period latency, machine-wide.
+	GP stats.LatencyStats `json:"gp"`
+	// ReclaimScan is the reclaim scan duration (time under the scan
+	// lock), machine-wide.
+	ReclaimScan stats.LatencyStats `json:"reclaim_scan"`
+}
+
+// FaultHist exposes the fault-latency histogram (e.g. for merging into
+// a machine-level rollup).
+func (as *AddressSpace) FaultHist() *stats.LatencyHist { return &as.stats.faultHist }
+
+// MapHist exposes the mapping-operation latency histogram.
+func (as *AddressSpace) MapHist() *stats.LatencyHist { return &as.stats.mapHist }
+
+// RangeWaitHist exposes the contended range-lock wait histogram, nil
+// for designs on the global mmap_sem.
+func (as *AddressSpace) RangeWaitHist() *stats.LatencyHist {
+	if as.rl == nil {
+		return nil
+	}
+	return as.rl.WaitHist()
+}
+
+// LatencySnapshot captures the latency percentile snapshot for this
+// address space and its machine.
+func (as *AddressSpace) LatencySnapshot() LatencySnapshot {
+	l := LatencySnapshot{
+		Fault: as.stats.faultHist.Stats(),
+		MapOp: as.stats.mapHist.Stats(),
+		GP:    as.dom.GPHist().Stats(),
+	}
+	if as.rl != nil {
+		l.RangeWait = as.rl.WaitHist().Stats()
+	}
+	if as.fam.ms.rec != nil {
+		l.ReclaimScan = as.fam.ms.rec.ScanHist().Stats()
+	}
+	return l
+}
+
 // StatsSnapshot is the unified observability surface: one nested,
 // JSON-marshalable snapshot consolidating what used to take five
 // separate calls (Stats, RangeStats, ReclaimStats, PageCachePerFile,
@@ -223,6 +282,9 @@ type StatsSnapshot struct {
 	Ranges ranges.Stats `json:"ranges"`
 	// Reclaim is the machine-wide reclaim ladder's counters.
 	Reclaim reclaim.Stats `json:"reclaim"`
+	// Latency is the always-on hot-path latency histograms, in
+	// percentile form.
+	Latency LatencySnapshot `json:"latency"`
 	// Files is the per-file page-cache breakdown, keyed by the file's
 	// stable label (name#id).
 	Files map[string]pagecache.Stats `json:"files,omitempty"`
@@ -247,6 +309,7 @@ func (as *AddressSpace) Snapshot() StatsSnapshot {
 		Space:          as.Stats(),
 		Ranges:         as.RangeStats(),
 		Reclaim:        as.ReclaimStats(),
+		Latency:        as.LatencySnapshot(),
 		Files:          as.PageCachePerFile(),
 		TenantOOMKills: as.fam.oomKills.Load(),
 		Failpoints:     fail.Snapshot(),

@@ -33,6 +33,7 @@ import (
 	"bonsai/internal/ranges"
 	"bonsai/internal/rcu"
 	"bonsai/internal/tlb"
+	"bonsai/internal/trace"
 	"bonsai/internal/vma"
 )
 
@@ -325,6 +326,11 @@ type CPU struct {
 	as *AddressSpace
 	id int
 	rd *rcu.Reader
+
+	// pathFlags accumulates trace.Fault* path bits across one Fault
+	// call (single-goroutine ownership makes a plain field safe); the
+	// exit event reports them.
+	pathFlags uint64
 }
 
 // normalized fills the Config's defaults.
@@ -490,6 +496,14 @@ func (as *AddressSpace) oomKill(tenantOnly bool) bool {
 	}
 	ms.oomKills.Add(1)
 	victimFam.oomKills.Add(1)
+	var tb, vtag uint64
+	if tenantOnly {
+		tb = 1
+	}
+	if victimFam.acct != nil {
+		vtag = victimFam.acct.Tag()
+	}
+	trace.Emit(trace.AuxCPU, trace.EvOOMKill, trace.OomKillVictim, tb, vtag)
 	ms.dom.Flush()
 	return true
 }
