@@ -20,6 +20,7 @@ import (
 
 	"bonsai/internal/avl"
 	"bonsai/internal/coherence"
+	"bonsai/internal/contention"
 	"bonsai/internal/core"
 	"bonsai/internal/locks"
 	"bonsai/internal/machine"
@@ -1037,5 +1038,112 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		b.ReportMetric(disarmed.Seconds()*1e9/faults, "disarmed-fault-ns")
 		b.ReportMetric(armed.Seconds()*1e9/faults, "armed-fault-ns")
 		b.ReportMetric((armed.Seconds()/disarmed.Seconds()-1)*100, "trace-overhead-pct")
+	}
+}
+
+// BenchmarkIntrospectOverhead is the introspection plane's
+// no-scraper-no-cost check, the same protocol as
+// BenchmarkTraceOverhead: one single-CPU fault storm with the
+// lock-contention profiler disarmed, one with it armed (what a running
+// introspection server does), reporting the relative cost. Disarmed,
+// every contention hook is one atomic pointer load on an
+// already-contended slow path — the fault fast path carries nothing —
+// so introspect-overhead-pct should sit at the noise floor.
+func BenchmarkIntrospectOverhead(b *testing.B) {
+	const pages, rounds = 256, 40
+	storm := func(armed bool) time.Duration {
+		as, err := vm.New(vm.Config{Design: vm.PureRCU, CPUs: 1, Frames: 1 << 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := as.Mmap(0, pages*vm.PageSize, vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cpu := as.NewCPU(0)
+		if armed {
+			contention.Arm()
+		}
+		traceStorm(b, as, cpu, base, pages, 2) // warm up the arena and caches
+		start := time.Now()
+		traceStorm(b, as, cpu, base, pages, rounds)
+		elapsed := time.Since(start)
+		if armed {
+			contention.Disarm()
+		}
+		if err := as.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return elapsed
+	}
+	for i := 0; i < b.N; i++ {
+		disarmed := storm(false)
+		armed := storm(true)
+		faults := float64(pages * rounds)
+		b.ReportMetric(disarmed.Seconds()*1e9/faults, "disarmed-fault-ns")
+		b.ReportMetric(armed.Seconds()*1e9/faults, "armed-fault-ns")
+		b.ReportMetric((armed.Seconds()/disarmed.Seconds()-1)*100, "introspect-overhead-pct")
+	}
+}
+
+// BenchmarkRangeContention drives deliberately overlapping mapping
+// operations with the contention profiler armed and reports the
+// attribution headline: the top site's cumulative wait and the worst
+// single wait. This is the range-lock analogue of perf lock contention
+// — the numbers quantify how much wall-clock the most contended
+// address interval costs the workload. The shootdown cost model is
+// enabled so each zap holds its range guard for a realistic IPI-round
+// window, the way the Figure 11 munmap benchmarks charge it.
+func BenchmarkRangeContention(b *testing.B) {
+	const (
+		workers = 4
+		pages   = 64
+		ops     = 100
+	)
+	for i := 0; i < b.N; i++ {
+		as, err := vm.New(vm.Config{
+			Design: vm.PureRCU, CPUs: workers, Frames: 1 << 12,
+			ShootdownBase:    2 * time.Microsecond,
+			ShootdownPerCore: 500 * time.Nanosecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := as.Mmap(0, pages*vm.PageSize, vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cpu := as.NewCPU(0)
+		for p := uint64(0); p < pages; p++ {
+			if err := cpu.Fault(base+p*vm.PageSize, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		contention.Arm()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for n := 0; n < ops; n++ {
+					if err := as.MadviseDontNeed(base, pages*vm.PageSize); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		var topWait, maxWait int64
+		if top := contention.Top(1); len(top) > 0 {
+			topWait = top[0].TotalWaitNs
+			maxWait = top[0].MaxWaitNs
+		}
+		contention.Disarm()
+		if err := as.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(topWait), "top-range-wait-ns")
+		b.ReportMetric(float64(maxWait), "range-wait-max-ns")
 	}
 }

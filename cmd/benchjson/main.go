@@ -41,12 +41,17 @@ import (
 // and the multi-tenant soak whose soak-p99-ns/soak-p999-ns latency
 // percentiles and tenant-fairness count (evictions suffered by
 // under-limit tenants, gated at zero) anchor the tenant-isolation
-// trajectory. BenchmarkTraceOverhead's trace-overhead-pct (plus the
+// trajectory. BenchmarkTraceOverhead's trace-overhead-pct and
+// BenchmarkIntrospectOverhead's introspect-overhead-pct (plus the
 // fault/map-op/range-wait/gp percentile metrics the other headline
-// benchmarks now report) anchors the observability trajectory: the
-// disarmed flight recorder must stay free, and the percentiles are the
-// tail-latency record across PRs.
-const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem|BenchmarkSharedFileFault|BenchmarkSharedFileFaultGlobalSem|BenchmarkMemoryPressure|BenchmarkMemoryPressureGlobalSem|BenchmarkMunmapBatched|BenchmarkMunmapBatchedPerPage|BenchmarkTortureSmoke|BenchmarkMultiTenantSoak|BenchmarkTraceOverhead)$`
+// benchmarks now report) anchor the observability trajectory: the
+// disarmed flight recorder and the disarmed contention profiler must
+// both stay free, and the percentiles are the tail-latency record
+// across PRs. BenchmarkRangeContention's top-range-wait-ns /
+// range-wait-max-ns are the lock-contention attribution headline: the
+// cumulative and worst-case wall-clock the most contended address
+// interval costs an overlapping-madvise workload.
+const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem|BenchmarkSharedFileFault|BenchmarkSharedFileFaultGlobalSem|BenchmarkMemoryPressure|BenchmarkMemoryPressureGlobalSem|BenchmarkMunmapBatched|BenchmarkMunmapBatchedPerPage|BenchmarkTortureSmoke|BenchmarkMultiTenantSoak|BenchmarkTraceOverhead|BenchmarkIntrospectOverhead|BenchmarkRangeContention)$`
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {

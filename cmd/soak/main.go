@@ -13,13 +13,16 @@
 // failure (or always, with -trace-dump-always) the last events per
 // CPU ring are dumped to -trace-dump for cmd/vmtrace / chrome://tracing
 // post-mortems. -vmstat prints a periodic machine-delta line to
-// stderr while the run is in flight.
+// stderr while the run is in flight. -http serves the live
+// introspection plane (/metrics, /proc/*, /debug/contention) for the
+// duration of the run — point vmtop or a Prometheus scraper at it.
 //
 // Usage:
 //
 //	go run ./cmd/soak -duration 45s -tenants 8
 //	go run ./cmd/soak -seed 7 -design rwlock -limit 128 -v
 //	go run ./cmd/soak -trace -trace-dump /tmp/soak -p999-gate 50ms -vmstat 2s
+//	go run ./cmd/soak -duration 10m -http 127.0.0.1:6060
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"bonsai/internal/introspect"
 	"bonsai/internal/machine"
 	"bonsai/internal/trace"
 	"bonsai/internal/vm"
@@ -47,6 +51,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-seat progress to stderr")
 	p999Gate := flag.Duration("p999-gate", 0, "fail the run if fault p999 exceeds this (0 = off)")
 	vmstat := flag.Duration("vmstat", 0, "print a vmstat-style machine delta line every interval (0 = off)")
+	httpAddr := flag.String("http", "", "serve the live introspection plane on this address (empty = off)")
 	traceOn := flag.Bool("trace", false, "arm the flight-recorder event tracer for the run")
 	traceDump := flag.String("trace-dump", "", "directory for ring dumps on gate failure (implies -trace)")
 	traceAlways := flag.Bool("trace-dump-always", false, "dump the rings even on a passing run")
@@ -76,6 +81,17 @@ func main() {
 	if *vmstat > 0 {
 		cfg.SampleEvery = *vmstat
 		cfg.Sample = newVmstat(time.Now())
+	}
+	if *httpAddr != "" {
+		cfg.OnMachine = func(m *machine.Machine) func() {
+			srv, err := introspect.Start(*httpAddr, introspect.Machine(m, "soak"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "soak: introspection server: %v\n", err)
+				return nil
+			}
+			fmt.Fprintf(os.Stderr, "soak: introspection at http://%s/ (metrics, proc views, contention)\n", srv.Addr())
+			return func() { _ = srv.Close() }
+		}
 	}
 
 	if *traceDump != "" {
@@ -120,10 +136,11 @@ func main() {
 		rep.Evicted, rep.Faults, rep.FaultP99NS)
 }
 
-// newVmstat returns a Sample hook that prints one delta line per call:
-// the counters' change since the previous sample, vmstat-style.
+// newVmstat returns a Sample hook that prints one delta line per call,
+// vmstat-style, fed by the shared snapshot-delta engine (the same one
+// cmd/vmtop's rate columns use).
 func newVmstat(start time.Time) func(machine.Snapshot) {
-	var prev machine.Snapshot
+	var eng introspect.DeltaEngine
 	first := true
 	return func(sn machine.Snapshot) {
 		if first {
@@ -131,28 +148,19 @@ func newVmstat(start time.Time) func(machine.Snapshot) {
 				"vmstat:    t  frames  tenants  d-fault  d-mapop  d-scan  d-evict   d-wb  d-gp  d-oom  fault-p99")
 			first = false
 		}
-		evicted := func(s machine.Snapshot) uint64 {
-			return s.Reclaim.KswapdEvicted + s.Reclaim.DirectEvicted + s.Reclaim.AccountEvicted
-		}
-		scans := func(s machine.Snapshot) uint64 {
-			return s.Reclaim.KswapdCycles + s.Reclaim.DirectRuns + s.Reclaim.AccountRuns
-		}
-		// Fault/map-op counts live in the tenants' address spaces, so
-		// an eviction between samples can shrink the rollup: those two
-		// deltas are signed.
+		d := eng.Step(sn)
 		fmt.Fprintf(os.Stderr, "vmstat: %4.0fs %7d %8d %8d %8d %7d %8d %6d %5d %6d %10v\n",
 			time.Since(start).Seconds(),
 			sn.FramesInUse,
 			len(sn.Tenants),
-			int64(sn.Latency.Fault.Count)-int64(prev.Latency.Fault.Count),
-			int64(sn.Latency.MapOp.Count)-int64(prev.Latency.MapOp.Count),
-			scans(sn)-scans(prev),
-			evicted(sn)-evicted(prev),
-			sn.Reclaim.Writebacks-prev.Reclaim.Writebacks,
-			sn.Latency.GP.Count-prev.Latency.GP.Count,
-			sn.OOMKills-prev.OOMKills,
+			d.Faults,
+			d.MapOps,
+			d.Scans,
+			d.Evictions,
+			d.Writebacks,
+			d.GracePeriods,
+			d.OOMKills,
 			time.Duration(sn.Latency.Fault.P99Ns))
-		prev = sn
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"bonsai/internal/introspect"
 	"bonsai/internal/torture"
 	"bonsai/internal/trace"
 	"bonsai/internal/vm"
@@ -41,6 +42,7 @@ func main() {
 	traceAlways := flag.Bool("trace-dump-always", false, "dump the rings even on a passing run")
 	traceRings := flag.Int("trace-rings", 16, "per-CPU trace rings (+1 aux)")
 	traceRingSize := flag.Int("trace-ring-size", trace.DefaultRingSize, "events kept per ring (rounded up to a power of two)")
+	httpAddr := flag.String("http", "", "serve the live introspection plane on this address (empty = off)")
 	flag.Parse()
 
 	cfg := torture.Config{
@@ -63,6 +65,20 @@ func main() {
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	if *httpAddr != "" {
+		set := introspect.NewSpaceSet("torture")
+		srv, err := introspect.Start(*httpAddr, set)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "torture: introspection at http://%s/\n", srv.Addr())
+		cfg.OnMachine = func(label string, as *vm.AddressSpace) func() {
+			return set.Add(label, as)
 		}
 	}
 

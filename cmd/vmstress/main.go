@@ -19,10 +19,15 @@ import (
 	"sync"
 	"time"
 
+	"bonsai/internal/introspect"
 	"bonsai/internal/ltp"
 	"bonsai/internal/vm"
 	"bonsai/internal/vma"
 )
+
+// stressSet, when non-nil, registers each stress run's address space
+// with the -http introspection server.
+var stressSet *introspect.SpaceSet
 
 func main() {
 	var (
@@ -33,8 +38,19 @@ func main() {
 		workers     = flag.Int("workers", 4, "stress worker goroutines")
 		seed        = flag.Int64("seed", 1, "stress RNG seed")
 		design      = flag.String("design", "", "restrict to one design (rwlock|faultlock|hybrid|purercu)")
+		httpAddr    = flag.String("http", "", "serve the live introspection plane on this address (empty = off)")
 	)
 	flag.Parse()
+	if *httpAddr != "" {
+		stressSet = introspect.NewSpaceSet("vmstress")
+		srv, err := introspect.Start(*httpAddr, stressSet)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "vmstress: introspection at http://%s/\n", srv.Addr())
+	}
 	if !*conformance && !*stress && !*timeline {
 		*conformance = true
 		*stress = true
@@ -116,6 +132,14 @@ func runStress(d vm.Design, workers int, seed int64, dur time.Duration) error {
 	as, err := vm.New(vm.Config{Design: d, CPUs: workers})
 	if err != nil {
 		return err
+	}
+	// Deregister from the introspection set before the space closes so
+	// no in-flight scrape walks a tearing-down world (remove is
+	// idempotent; the defer covers the early error returns).
+	remove := func() {}
+	if stressSet != nil {
+		remove = stressSet.Add(d.String(), as)
+		defer remove()
 	}
 	const pages = 2048
 	arena, err := as.Mmap(0, pages*vm.PageSize, vma.ProtRead|vma.ProtWrite, 0, nil, 0)
@@ -201,6 +225,7 @@ func runStress(d vm.Design, workers int, seed int64, dur time.Duration) error {
 	wg.Wait()
 	select {
 	case err := <-errCh:
+		remove()
 		as.Close()
 		return err
 	default:
@@ -214,6 +239,7 @@ func runStress(d vm.Design, workers int, seed int64, dur time.Duration) error {
 		fmt.Printf("    %s: reclaim kswapd=%d direct=%d tenant=%d writebacks=%d\n",
 			d, r.KswapdEvicted, r.DirectEvicted, r.AccountEvicted, r.Writebacks)
 	}
+	remove()
 	return as.Close() // verifies zero frame leaks
 }
 

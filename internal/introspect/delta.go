@@ -1,0 +1,92 @@
+package introspect
+
+import "bonsai/internal/machine"
+
+// DeltaEngine turns successive machine snapshots into interval deltas
+// — one source of truth for counter differencing, shared by cmd/soak's
+// vmstat line, cmd/vmtop's rate columns, and the exposition checker's
+// monotonicity reasoning. The zero value is ready to use; the first
+// Step reports First and zero deltas.
+type DeltaEngine struct {
+	started bool
+	prev    machine.Snapshot
+	tenants map[string]machine.TenantSnapshot
+}
+
+// TenantDelta is one tenant's interval activity.
+type TenantDelta struct {
+	// Cur is the tenant's current snapshot entry.
+	Cur machine.TenantSnapshot
+	// Faults and Evictions are interval deltas; a tenant admitted since
+	// the previous sample reports its whole lifetime.
+	Faults    int64
+	Evictions int64
+}
+
+// Delta is one interval's machine activity.
+type Delta struct {
+	// Snapshot is the sample the delta was computed against.
+	Snapshot machine.Snapshot
+	// First marks the engine's first sample (all deltas zero).
+	First bool
+	// Interval deltas. The machine source's counters are monotonic, but
+	// these stay signed so SpaceSet-backed sources — whose rollup can
+	// shrink when an epoch's spaces are removed — render a dip instead
+	// of a garbage unsigned wrap.
+	Faults       int64
+	MapOps       int64
+	Scans        int64
+	Evictions    int64
+	Writebacks   int64
+	GracePeriods int64
+	OOMKills     int64
+	// Tenants holds per-tenant deltas in snapshot order.
+	Tenants []TenantDelta
+}
+
+// ReclaimScans sums the reclaim ladder's run counters: kswapd cycles,
+// direct-reclaim runs, and tenant-local runs.
+func ReclaimScans(s machine.Snapshot) uint64 {
+	return s.Reclaim.KswapdCycles + s.Reclaim.DirectRuns + s.Reclaim.AccountRuns
+}
+
+// ReclaimEvictions sums the pages evicted by every reclaim path.
+func ReclaimEvictions(s machine.Snapshot) uint64 {
+	return s.Reclaim.KswapdEvicted + s.Reclaim.DirectEvicted + s.Reclaim.AccountEvicted
+}
+
+// Step folds in the next sample and returns the interval's deltas.
+func (e *DeltaEngine) Step(sn machine.Snapshot) Delta {
+	d := Delta{Snapshot: sn}
+	if !e.started {
+		d.First = true
+	} else {
+		p := e.prev
+		d.Faults = int64(sn.Latency.Fault.Count) - int64(p.Latency.Fault.Count)
+		d.MapOps = int64(sn.Latency.MapOp.Count) - int64(p.Latency.MapOp.Count)
+		d.Scans = int64(ReclaimScans(sn)) - int64(ReclaimScans(p))
+		d.Evictions = int64(ReclaimEvictions(sn)) - int64(ReclaimEvictions(p))
+		d.Writebacks = int64(sn.Reclaim.Writebacks) - int64(p.Reclaim.Writebacks)
+		d.GracePeriods = int64(sn.Latency.GP.Count) - int64(p.Latency.GP.Count)
+		d.OOMKills = int64(sn.OOMKills) - int64(p.OOMKills)
+	}
+	tenants := make(map[string]machine.TenantSnapshot, len(sn.Tenants))
+	for _, ts := range sn.Tenants {
+		td := TenantDelta{Cur: ts, Faults: int64(ts.Fault.Count)}
+		if ts.Account != nil {
+			td.Evictions = int64(ts.Account.Evictions)
+		}
+		if prev, ok := e.tenants[ts.Name]; ok {
+			td.Faults -= int64(prev.Fault.Count)
+			if prev.Account != nil {
+				td.Evictions -= int64(prev.Account.Evictions)
+			}
+		}
+		d.Tenants = append(d.Tenants, td)
+		tenants[ts.Name] = ts
+	}
+	e.prev = sn
+	e.tenants = tenants
+	e.started = true
+	return d
+}

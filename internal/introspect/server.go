@@ -1,0 +1,157 @@
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"bonsai/internal/contention"
+	"bonsai/internal/machine"
+)
+
+// Server is the embeddable introspection endpoint. Start binds and
+// serves immediately; Close stops listening and waits for in-flight
+// handlers. Starting a server arms the lock-contention profiler and
+// Close disarms it, so a machine with no scraper attached pays nothing
+// on the fault path.
+type Server struct {
+	src Source
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Start serves the introspection plane for src on addr (host:port;
+// ":0" picks a free port — read it back from Addr).
+func Start(addr string, src Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("introspect: listen %s: %w", addr, err)
+	}
+	s := &Server{src: src, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/proc/meminfo", s.handleMeminfo)
+	mux.HandleFunc("/proc/locks", s.handleLocks)
+	mux.HandleFunc("/proc/rcu", s.handleRCU)
+	mux.HandleFunc("/proc/", s.handleSmaps)
+	mux.HandleFunc("/debug/contention", s.handleContention)
+	mux.HandleFunc("/snapshot.json", s.handleSnapshot)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	contention.Arm()
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:6060".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and disarms the contention profiler.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	contention.Disarm()
+	return s.srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "bonsai introspection: %s\n\n", s.src.Label())
+	fmt.Fprint(w, `endpoints:
+  /metrics            Prometheus text exposition
+  /proc/meminfo       frame pool + per-tenant accounting
+  /proc/locks         live range-lock holders and waiters
+  /proc/rcu           RCU domain counters and shard backlogs
+  /proc/<tenant>/smaps  per-VMA residency for one tenant
+  /debug/contention   top lock-contention sites (?format=json)
+  /snapshot.json      machine snapshot + contention, for vmtop
+`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WriteMetrics(w, s.src); err != nil {
+		// Headers are gone; nothing useful to do but note it.
+		return
+	}
+}
+
+func (s *Server) handleMeminfo(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = WriteMeminfo(w, s.src)
+}
+
+func (s *Server) handleLocks(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = WriteLocks(w, s.src)
+}
+
+func (s *Server) handleRCU(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = WriteRCU(w, s.src)
+}
+
+// handleSmaps serves /proc/<tenant>/smaps.
+func (s *Server) handleSmaps(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/proc/")
+	name, tail, ok := strings.Cut(rest, "/")
+	if !ok || tail != "smaps" || name == "" {
+		http.NotFound(w, r)
+		return
+	}
+	for _, t := range s.src.Tenants() {
+		if t.Name == name {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = WriteSmaps(w, t)
+			return
+		}
+	}
+	http.Error(w, fmt.Sprintf("no such tenant: %s", name), http.StatusNotFound)
+}
+
+func (s *Server) handleContention(w http.ResponseWriter, r *http.Request) {
+	sites := contention.Top(contentionTopN)
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(sites)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = WriteContention(w, sites)
+}
+
+// SnapshotJSON is the /snapshot.json document — the machine rollup
+// plus the contention top list, everything vmtop needs in one scrape.
+type SnapshotJSON struct {
+	Label      string                 `json:"label"`
+	Snapshot   machine.Snapshot       `json:"snapshot"`
+	Contention []contention.SiteStats `json:"contention,omitempty"`
+	Dropped    uint64                 `json:"contention_dropped,omitempty"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	doc := SnapshotJSON{
+		Label:      s.src.Label(),
+		Snapshot:   s.src.Snapshot(),
+		Contention: contention.Top(contentionTopN),
+		Dropped:    contention.Dropped(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(doc)
+}

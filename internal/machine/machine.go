@@ -12,6 +12,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"bonsai/internal/physmem"
@@ -45,6 +46,13 @@ type Machine struct {
 	departedCross   uint64
 	tenantsAdmitted uint64
 	tenantsEvicted  uint64
+	// Departed tenants' latency samples, merged in at eviction (under
+	// mu, in the same critical section that removes the tenant), so the
+	// machine-wide histogram counts are monotonic across tenant churn —
+	// a scrape-to-scrape delta is never negative.
+	departedFault     stats.LatencyHist
+	departedMapOp     stats.LatencyHist
+	departedRangeWait stats.LatencyHist
 }
 
 // Tenant is one admitted family: a root address space plus every
@@ -60,6 +68,13 @@ type Tenant struct {
 	mu     sync.Mutex
 	spaces []*vm.AddressSpace // open members, root first
 	closed bool
+	// Latency samples of members closed before the tenant departed
+	// (CloseSpace), merged under mu in the same critical section that
+	// forgets the member, so the tenant's rollup never dips when a
+	// sibling or fork child closes mid-run.
+	departedFault     stats.LatencyHist
+	departedMapOp     stats.LatencyHist
+	departedRangeWait stats.LatencyHist
 }
 
 // New builds an empty machine.
@@ -167,11 +182,25 @@ func (t *Tenant) CloseSpace(as *vm.AddressSpace) error {
 	for i, s := range t.spaces {
 		if s == as {
 			t.spaces = append(t.spaces[:i], t.spaces[i+1:]...)
+			// No operation is in flight on a closing member, so its
+			// histograms are final; folding them in here, atomically
+			// with the removal, keeps the tenant rollup monotonic.
+			t.absorbLocked(as)
 			break
 		}
 	}
 	t.mu.Unlock()
 	return as.Close()
+}
+
+// absorbLocked folds a departing member's latency samples into the
+// tenant's departed accumulators. t.mu is held.
+func (t *Tenant) absorbLocked(as *vm.AddressSpace) {
+	t.departedFault.Merge(as.FaultHist())
+	t.departedMapOp.Merge(as.MapHist())
+	if rw := as.RangeWaitHist(); rw != nil {
+		t.departedRangeWait.Merge(rw)
+	}
 }
 
 // Evict departs the tenant: every registered member closes (children
@@ -192,6 +221,13 @@ func (m *Machine) evict(t *Tenant) error {
 	t.closed = true
 	spaces := t.spaces
 	t.spaces = nil
+	// No operation is in flight on an evicting tenant's spaces (the
+	// Evict contract), so their histograms are final: fold them into
+	// the tenant accumulators atomically with the list reset, keeping
+	// a concurrent Snapshot's count monotonic.
+	for _, as := range spaces {
+		t.absorbLocked(as)
+	}
 	t.mu.Unlock()
 
 	// Drop the limit to one frame before any teardown eviction runs:
@@ -220,6 +256,12 @@ func (m *Machine) evict(t *Tenant) error {
 		m.departed = append(m.departed, final)
 		m.departedCross += final.EvictionsUnderLimit
 	}
+	// Same critical section as the removal: a Snapshot sees the tenant
+	// either live (and reads its accumulators under t.mu) or departed
+	// (and reads these), never neither and never both.
+	m.departedFault.Merge(&t.departedFault)
+	m.departedMapOp.Merge(&t.departedMapOp)
+	m.departedRangeWait.Merge(&t.departedRangeWait)
 	m.mu.Unlock()
 	if residue != 0 && firstErr == nil {
 		firstErr = fmt.Errorf("machine: tenant %q leaked %d charged frames past eviction", t.name, residue)
@@ -255,6 +297,21 @@ func (m *Machine) Close() error {
 // inspection, and tests).
 func (m *Machine) Host() *vm.Host { return m.host }
 
+// Tenants returns the live tenants sorted by name (for introspection
+// views that need the tenant objects, not just the snapshot).
+func (m *Machine) Tenants() []*Tenant {
+	m.mu.Lock()
+	live := make([]*Tenant, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].name < live[j].name })
+	return live
+}
+
 // TenantSnapshot is one tenant's slice of the machine rollup.
 type TenantSnapshot struct {
 	Name  string `json:"name"`
@@ -265,6 +322,10 @@ type TenantSnapshot struct {
 	Space vm.Stats `json:"space"`
 	// Account is the tenant's charge counters (nil when unlimited).
 	Account *physmem.AccountStats `json:"account,omitempty"`
+	// Fault is the tenant's fault-latency rollup, merged across every
+	// member space including members already closed — its count is the
+	// tenant's monotonic fault counter.
+	Fault stats.LatencyStats `json:"fault"`
 }
 
 // Snapshot is the machine-wide rollup: shared-resource counters once,
@@ -281,9 +342,13 @@ type Snapshot struct {
 	Departed        []physmem.AccountStats `json:"departed,omitempty"`
 	// Latency is the machine-wide hot-path latency rollup: fault,
 	// mapping-operation, and range-wait histograms merged across every
-	// live tenant's member spaces, plus the machine-shared grace-period
-	// and reclaim-scan histograms. Departed tenants' samples are gone —
-	// the histograms live in their address spaces.
+	// live tenant's member spaces plus the departed accumulators (a
+	// member's samples are folded in when it closes), and the
+	// machine-shared grace-period and reclaim-scan histograms. The
+	// counts are monotonic across tenant churn — the property the
+	// Prometheus exporter's counters and the vmstat delta engine rely
+	// on. Spaces never registered with a tenant (fork children closed
+	// directly) are not counted, before or after close.
 	Latency vm.LatencySnapshot `json:"latency"`
 	// CrossTenantEvictions is the reclaim-fairness metric: pages
 	// evicted from accounts that were under their limit at eviction
@@ -308,6 +373,14 @@ func (m *Machine) Snapshot() Snapshot {
 		Departed:             append([]physmem.AccountStats(nil), m.departed...),
 		CrossTenantEvictions: m.departedCross,
 	}
+	// The departed-latency copy shares m.mu with the live-tenant copy:
+	// a tenant evicting concurrently is counted exactly once — via its
+	// own accumulators if it left before this point, via the live list
+	// otherwise.
+	var fault, mapOp, rangeWait stats.LatencyHist
+	fault.Merge(&m.departedFault)
+	mapOp.Merge(&m.departedMapOp)
+	rangeWait.Merge(&m.departedRangeWait)
 	m.mu.Unlock()
 
 	alloc := m.host.Allocator()
@@ -315,7 +388,6 @@ func (m *Machine) Snapshot() Snapshot {
 	sn.FramesInUse = alloc.InUse()
 	sn.Reclaim = m.host.ReclaimStats()
 	sn.OOMKills = m.host.OOMKills()
-	var fault, mapOp, rangeWait stats.LatencyHist
 	for _, t := range live {
 		ts := TenantSnapshot{Name: t.name, Limit: t.limit, Space: t.root.Stats()}
 		if t.acct != nil {
@@ -323,14 +395,27 @@ func (m *Machine) Snapshot() Snapshot {
 			ts.Account = &st
 			sn.CrossTenantEvictions += st.EvictionsUnderLimit
 		}
-		sn.Tenants = append(sn.Tenants, ts)
-		for _, as := range t.Spaces() {
-			fault.Merge(as.FaultHist())
+		// Merge under t.mu so a concurrently closing member lands in
+		// exactly one of t.spaces / t.departed*; a snapshot can then
+		// never observe a half-retired member (satellite of the
+		// monotonicity guarantee above).
+		var tf stats.LatencyHist
+		t.mu.Lock()
+		tf.Merge(&t.departedFault)
+		mapOp.Merge(&t.departedMapOp)
+		rangeWait.Merge(&t.departedRangeWait)
+		spaces := append([]*vm.AddressSpace(nil), t.spaces...)
+		t.mu.Unlock()
+		for _, as := range spaces {
+			tf.Merge(as.FaultHist())
 			mapOp.Merge(as.MapHist())
 			if rw := as.RangeWaitHist(); rw != nil {
 				rangeWait.Merge(rw)
 			}
 		}
+		ts.Fault = tf.Stats()
+		fault.Merge(&tf)
+		sn.Tenants = append(sn.Tenants, ts)
 	}
 	sn.Latency = vm.LatencySnapshot{
 		Fault:       fault.Stats(),

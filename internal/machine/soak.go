@@ -45,6 +45,11 @@ type SoakConfig struct {
 	// behind cmd/soak's vmstat-style delta sampler.
 	Sample      func(Snapshot)
 	SampleEvery time.Duration
+	// OnMachine, when non-nil, observes the soak's machine right after
+	// construction; the returned func (may be nil) runs after the last
+	// tenant departs and before the machine tears down. cmd/soak uses
+	// it to attach and detach the -http introspection server.
+	OnMachine func(*Machine) func()
 }
 
 // SoakTenantReport is one seat's aggregate across every tenant
@@ -129,6 +134,10 @@ func Soak(cfg SoakConfig) *SoakReport {
 		},
 		MaxTenants: cfg.Slots,
 	})
+	var onDone func()
+	if cfg.OnMachine != nil {
+		onDone = cfg.OnMachine(s.m)
+	}
 
 	var samplerStop chan struct{}
 	var samplerDone sync.WaitGroup
@@ -178,6 +187,11 @@ func Soak(cfg SoakConfig) *SoakReport {
 	rep.Admitted = sn.TenantsAdmitted
 	rep.Evicted = sn.TenantsEvicted
 	rep.CrossTenantEvictions = sn.CrossTenantEvictions
+	// Detach the observer (the introspection server) before teardown so
+	// no scrape races the machine's close.
+	if onDone != nil {
+		onDone()
+	}
 	if err := s.m.Close(); err != nil {
 		s.violate("machine close: %v", err)
 	}

@@ -54,6 +54,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"bonsai/internal/contention"
 	"bonsai/internal/fail"
 	"bonsai/internal/physmem"
 	"bonsai/internal/rcu"
@@ -312,6 +313,7 @@ func (r *Registry) clear(f physmem.Frame) {
 type Cache struct {
 	fileID uint64
 	label  string
+	site   string // contention-profiler site name, "pagecache:"+label
 	alloc  *physmem.Allocator
 	dom    *rcu.Domain
 	reg    *Registry
@@ -365,8 +367,14 @@ type Cache struct {
 // through dom. reg, when non-nil, is the machine-wide frame-to-page
 // registry the cache keeps current for the VM layer's zap paths.
 func New(fileID uint64, label string, alloc *physmem.Allocator, dom *rcu.Domain, reg *Registry) *Cache {
-	return &Cache{fileID: fileID, label: label, alloc: alloc, dom: dom, reg: reg, root: newNode(levels)}
+	return &Cache{fileID: fileID, label: label, site: "pagecache:" + label,
+		alloc: alloc, dom: dom, reg: reg, root: newNode(levels)}
 }
+
+// lock acquires the cache mutex through the contention profiler, so an
+// armed introspection server attributes waits to this file. Disarmed
+// it is one atomic load on top of the plain Lock.
+func (c *Cache) lock() { contention.Lock(&c.mu, c.site) }
 
 // FileID returns the stable ID of the cached file.
 func (c *Cache) FileID() uint64 { return c.fileID }
@@ -428,7 +436,7 @@ func (c *Cache) FindOrCreate(cpu int, off uint64, fill func(physmem.Frame)) (*Pa
 		pg.touch()
 		return pg, nil
 	}
-	c.mu.Lock()
+	c.lock()
 	if pg := c.lookup(off); pg != nil && !pg.Deleted() {
 		// A concurrent faulter filled the page while we waited.
 		c.mu.Unlock()
@@ -508,7 +516,7 @@ func (c *Cache) Drop(lo, hi uint64) int {
 	if lo >= hi {
 		return 0
 	}
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	dropped := 0
 	c.walkLocked(c.root, func(n *node, slot int, pg *Page) {
@@ -567,7 +575,7 @@ func (c *Cache) DropAll() int { return c.Drop(0, MaxOffset) }
 // cleared, the kernel's errseq_t discipline: every fsync caller since
 // the error hears about it once, and none can miss a silent data drop.
 func (c *Cache) Writeback(wb func(off uint64, frame physmem.Frame)) (int, error) {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	written := 0
 	var retryErr error
@@ -708,7 +716,7 @@ func (c *Cache) ReclaimScanFor(acct *physmem.Account, batch int, force bool, g *
 	// full-cache sweep under the mutex fault fills contend on. A gentle
 	// pass over a fully referenced resident set still visits every page
 	// — that is the clock algorithm clearing its bits.
-	c.mu.Lock()
+	c.lock()
 	var cands []candidate
 	setHand := func(off uint64) {
 		if acct == nil {
@@ -772,7 +780,7 @@ func (c *Cache) ReclaimScanFor(acct *physmem.Account, batch int, force bool, g *
 	}
 
 	// Phase 3: bookkeeping and the evictions themselves.
-	c.mu.Lock()
+	c.lock()
 	for _, cd := range cands {
 		pg := cd.pg
 		pg.rmapMu.Lock()
@@ -856,7 +864,7 @@ func (c *Cache) ReclaimScanFor(acct *physmem.Account, batch int, force bool, g *
 // Called when a tenant departs so the hands map does not accumulate
 // entries for dead accounts.
 func (c *Cache) ForgetAccount(ac *physmem.Account) {
-	c.mu.Lock()
+	c.lock()
 	delete(c.clockHands, ac)
 	c.mu.Unlock()
 }
@@ -865,7 +873,7 @@ func (c *Cache) ForgetAccount(ac *physmem.Account) {
 // retains — the churn-leak audit: departed tenants' hands must be
 // swept, or long-lived caches grow one dead entry per departure.
 func (c *Cache) AccountHands() int {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	return len(c.clockHands)
 }
@@ -873,7 +881,7 @@ func (c *Cache) AccountHands() int {
 // ResidentFor returns the number of resident pages charged to ac (the
 // tenant-eviction leak audit's view of what is still pinned here).
 func (c *Cache) ResidentFor(ac *physmem.Account) int {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	n := 0
 	c.walkLocked(c.root, func(_ *node, _ int, pg *Page) {
@@ -950,7 +958,7 @@ func (c *Cache) walkLocked(n *node, visit func(n *node, slot int, pg *Page)) {
 // one per rmap entry; and every rmap entry resolving to this frame.
 // The resident counter must match the linked-page count.
 func (c *Cache) Audit(resolve func(owner MappingOwner, vaddr uint64) (physmem.Frame, bool)) error {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	var errs []error
 	linked := int64(0)

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"bonsai/internal/contention"
 	"bonsai/internal/stats"
 	"bonsai/internal/trace"
 )
@@ -35,9 +36,12 @@ type Guard struct {
 	lo, hi uint64
 	ready  chan struct{} // closed when the lock is granted
 	done   bool          // released (manager mutex held when written)
-	// grantedAt is stamped at grant time only while the tracer is
-	// armed, so the disarmed grant path pays no clock read.
+	// grantedAt is stamped at grant time only while the tracer or the
+	// contention profiler is armed, so the disarmed grant path pays no
+	// clock read. queuedAt is stamped on the contended path, which
+	// already pays the clock read for the wait histogram.
 	grantedAt time.Time
+	queuedAt  time.Time
 }
 
 // ID returns the guard's manager-unique id, the value trace events
@@ -107,6 +111,46 @@ func (m *Manager) Stats() Stats {
 // machine-level latency rollups.
 func (m *Manager) WaitHist() *stats.LatencyHist { return &m.waitHist }
 
+// GuardInfo describes one live range-lock request — a current holder
+// or a queued waiter — as reported by Guards for /proc/locks-style
+// introspection.
+type GuardInfo struct {
+	ID      uint64 `json:"id"`
+	Lo      uint64 `json:"lo"`
+	Hi      uint64 `json:"hi"`
+	Waiting bool   `json:"waiting"`
+	// AgeNs is how long the request has been held (holders) or queued
+	// (waiters). Zero for holders granted while neither the tracer nor
+	// the contention profiler was armed: grant times are only stamped
+	// then, so the disarmed grant path pays no clock read.
+	AgeNs int64 `json:"age_ns"`
+}
+
+// Guards snapshots the live lock table: held ranges first (grant
+// order), then queued waiters (arrival order). It takes only the
+// manager mutex, the lock every acquire already takes.
+func (m *Manager) Guards() []GuardInfo {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]GuardInfo, 0, len(m.held)+len(m.queue))
+	for _, g := range m.held {
+		gi := GuardInfo{ID: g.id, Lo: g.lo, Hi: g.hi}
+		if !g.grantedAt.IsZero() {
+			gi.AgeNs = now.Sub(g.grantedAt).Nanoseconds()
+		}
+		out = append(out, gi)
+	}
+	for _, g := range m.queue {
+		gi := GuardInfo{ID: g.id, Lo: g.lo, Hi: g.hi, Waiting: true}
+		if !g.queuedAt.IsZero() {
+			gi.AgeNs = now.Sub(g.queuedAt).Nanoseconds()
+		}
+		out = append(out, gi)
+	}
+	return out
+}
+
 func checkRange(lo, hi uint64) {
 	if lo >= hi {
 		panic(fmt.Sprintf("ranges: invalid range [%#x, %#x)", lo, hi))
@@ -139,7 +183,7 @@ func (m *Manager) grantLocked(g *Guard) {
 	if len(m.held) > m.maxHeld {
 		m.maxHeld = len(m.held)
 	}
-	if trace.Armed() {
+	if trace.Armed() || contention.Armed() {
 		g.grantedAt = time.Now()
 		trace.Emit(trace.AuxCPU, trace.EvRangeAcquire, g.id, g.lo, g.hi)
 	}
@@ -159,13 +203,15 @@ func (m *Manager) Lock(lo, hi uint64) *Guard {
 		return g
 	}
 	g.ready = make(chan struct{})
+	waitStart := time.Now()
+	g.queuedAt = waitStart
 	m.queue = append(m.queue, g)
 	m.conflicts++
 	m.mu.Unlock()
-	waitStart := time.Now()
 	<-g.ready
 	wait := time.Since(waitStart)
 	m.waitHist.Record(wait)
+	contention.Note("range", g.lo, g.hi, wait)
 	trace.Emit(trace.AuxCPU, trace.EvRangeWait, g.id, g.lo, uint64(wait))
 	return g
 }

@@ -86,6 +86,7 @@ type Domain struct {
 	hintSeq  atomic.Uint32
 
 	// statistics
+	gpActive     atomic.Bool // a grace period is executing right now
 	gracePeriods atomic.Uint64
 	gpTotalNanos atomic.Uint64
 	gpMaxNanos   atomic.Uint64
@@ -383,6 +384,8 @@ func (d *Domain) Close() {
 // gracePeriodLocked advances the epoch, waits for pre-existing readers,
 // and drains expired callbacks. Caller holds gpMu.
 func (d *Domain) gracePeriodLocked() {
+	d.gpActive.Store(true)
+	defer d.gpActive.Store(false)
 	start := time.Now()
 	target := d.epoch.Add(1) // readers that observe >= target started after us
 	gpID := d.gracePeriods.Add(1)
@@ -537,8 +540,13 @@ type Stats struct {
 	GPLatencyMax time.Duration      // worst grace-period latency
 	GP           stats.LatencyStats // grace-period latency percentiles
 
-	ShardQueued []uint64 // per-shard callbacks ever queued
-	ShardDrains []uint64 // per-shard drain passes that removed callbacks
+	ShardQueued  []uint64 // per-shard callbacks ever queued
+	ShardDrains  []uint64 // per-shard drain passes that removed callbacks
+	ShardPending []int    // per-shard callbacks still queued (the backlog view)
+
+	// GPInFlight reports whether a grace period was executing at
+	// snapshot time — the live half of the GP latency story.
+	GPInFlight bool
 }
 
 // GPHist exposes the grace-period latency histogram for machine-level
@@ -556,6 +564,8 @@ func (d *Domain) Stats() Stats {
 		GP:               d.gpHist.Stats(),
 		ShardQueued:      make([]uint64, len(d.shards)),
 		ShardDrains:      make([]uint64, len(d.shards)),
+		ShardPending:     make([]int, len(d.shards)),
+		GPInFlight:       d.gpActive.Load(),
 	}
 	for i := range d.shards {
 		s := &d.shards[i]
@@ -567,6 +577,7 @@ func (d *Domain) Stats() Stats {
 		st.Pending += n
 		st.ShardQueued[i] = q
 		st.ShardDrains[i] = s.drains.Load()
+		st.ShardPending[i] = n
 	}
 	d.readersMu.Lock()
 	st.Readers = len(d.readers)

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bonsai/internal/contention"
 	"bonsai/internal/fail"
 	"bonsai/internal/pagecache"
 	"bonsai/internal/physmem"
@@ -331,7 +332,7 @@ func (r *Reclaimer) reclaim(target int, force bool) (drained, evictedN int) {
 	scanID := r.scanSeq.Add(1)
 	trace.Emit(trace.AuxCPU, trace.EvReclaimScanStart, scanID, uint64(target), kind)
 	scanStart := time.Now()
-	r.scanMu.Lock()
+	contention.Lock(&r.scanMu, "reclaim.scan")
 	freed := r.alloc.DrainMagazines()
 	evicted, written := 0, 0
 
@@ -417,7 +418,7 @@ func (r *Reclaimer) ReclaimAccount(ac *physmem.Account, target int) int {
 	trace.Emit(trace.AuxCPU, trace.EvReclaimScanStart, scanID, uint64(target),
 		trace.ScanTenant)
 	scanStart := time.Now()
-	r.scanMu.Lock()
+	contention.Lock(&r.scanMu, "reclaim.scan")
 	r.cachesMu.Lock()
 	caches := make([]*pagecache.Cache, len(r.caches))
 	copy(caches, r.caches)

@@ -61,6 +61,11 @@ type Config struct {
 	Frames uint64
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// OnMachine, when non-nil, observes each epoch's primary space
+	// right after construction; the returned func (may be nil) runs
+	// before the epoch tears down. cmd/torture uses it to register the
+	// epoch with the -http introspection server's space set.
+	OnMachine func(label string, as *vm.AddressSpace) func()
 }
 
 // Report is the outcome of a run.
@@ -249,6 +254,12 @@ func (t *run) epoch(design vm.Design, epoch int, deadline time.Time) {
 		return
 	}
 	t.report.Epochs++
+	onDone := func() {}
+	if t.cfg.OnMachine != nil {
+		if f := t.cfg.OnMachine(where, m.as); f != nil {
+			onDone = f
+		}
+	}
 
 	// The killer of last resort: reap a ballast space — the one
 	// population whose idleness the harness can vouch for (Close
@@ -281,6 +292,7 @@ func (t *run) epoch(design vm.Design, epoch int, deadline time.Time) {
 	})
 
 	if !m.populate(where) {
+		onDone()
 		m.teardown(where)
 		return
 	}
@@ -307,6 +319,7 @@ func (t *run) epoch(design vm.Design, epoch int, deadline time.Time) {
 	tick.Stop()
 	close(stop)
 	wg.Wait()
+	onDone()
 	m.teardown(where)
 }
 
