@@ -50,8 +50,14 @@ import (
 // across PRs. BenchmarkRangeContention's top-range-wait-ns /
 // range-wait-max-ns are the lock-contention attribution headline: the
 // cumulative and worst-case wall-clock the most contended address
-// interval costs an overlapping-madvise workload.
-const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem|BenchmarkSharedFileFault|BenchmarkSharedFileFaultGlobalSem|BenchmarkMemoryPressure|BenchmarkMemoryPressureGlobalSem|BenchmarkMunmapBatched|BenchmarkMunmapBatchedPerPage|BenchmarkTortureSmoke|BenchmarkMultiTenantSoak|BenchmarkTraceOverhead|BenchmarkIntrospectOverhead|BenchmarkRangeContention)$`
+// interval costs an overlapping-madvise workload. The huge-fault-storm
+// pair anchors the transparent-huge-page trajectory: faults/s of a
+// 2 MB-chunk population storm with THP on vs the base-page baseline
+// (the ≥5x claim), pages-per-flush on the huge teardown path, and the
+// thp-huge-faults/thp-fallbacks counters; the torture smoke's
+// thp-collapses/thp-splits record the promotion/demotion machinery
+// exercised under fault injection.
+const headlineBenchmarks = `^(BenchmarkRCUDefer|BenchmarkMunmapRetire|BenchmarkDisjointMmap|BenchmarkDisjointMmapRangeLocks|BenchmarkDisjointMmapGlobalSem|BenchmarkSharedFileFault|BenchmarkSharedFileFaultGlobalSem|BenchmarkMemoryPressure|BenchmarkMemoryPressureGlobalSem|BenchmarkMunmapBatched|BenchmarkMunmapBatchedPerPage|BenchmarkHugeFaultStorm|BenchmarkHugeFaultStormBasePages|BenchmarkTortureSmoke|BenchmarkMultiTenantSoak|BenchmarkTraceOverhead|BenchmarkIntrospectOverhead|BenchmarkRangeContention)$`
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {

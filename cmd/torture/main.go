@@ -94,6 +94,7 @@ func main() {
 	fmt.Printf("torture: seed=%d duration=%v faults=%v\n", rep.Seed, *duration, *faults)
 	fmt.Printf("  epochs=%d ops=%d audits=%d\n", rep.Epochs, rep.Ops, rep.Audits)
 	fmt.Printf("  oom-errors=%d io-errors=%d oom-kills=%d\n", rep.OOMErrors, rep.IOErrors, rep.OOMKills)
+	fmt.Printf("  thp: huge-faults=%d collapses=%d splits=%d\n", rep.HugeFaults, rep.Collapses, rep.HugeSplits)
 	fmt.Printf("  failpoints:\n")
 	silent := 0
 	for _, p := range rep.Failpoints {

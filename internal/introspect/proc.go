@@ -7,7 +7,13 @@ import (
 
 	"bonsai/internal/contention"
 	"bonsai/internal/machine"
+	"bonsai/internal/vm"
 )
+
+// hugePages converts live huge entries (vm.Stats.AnonHugePages) to the
+// base-page figure the meminfo line reports, matching Linux's
+// AnonHugePages-in-kB convention.
+const hugePages = int64(vm.HugeSpan / vm.PageSize)
 
 // procfs-style plain-text renderers. Shapes follow the Linux files
 // they imitate loosely — aligned "Key:  value" lines for meminfo,
@@ -39,6 +45,11 @@ func WriteMeminfo(w io.Writer, src Source) error {
 	pw.printf("OOMKills:       %8d\n", sn.OOMKills)
 	pw.printf("ReclaimEvicted: %8d pages\n", ReclaimEvictions(sn))
 	pw.printf("Writebacks:     %8d pages\n", sn.Reclaim.Writebacks)
+	var anonHuge int64
+	for _, ts := range sn.Tenants {
+		anonHuge += ts.Space.AnonHugePages
+	}
+	pw.printf("AnonHugePages:  %8d pages\n", anonHuge*hugePages)
 	for _, ts := range sn.Tenants {
 		pw.printf("\nTenant: %s\n", ts.Name)
 		limit := ts.Limit
@@ -56,6 +67,7 @@ func WriteMeminfo(w io.Writer, src Source) error {
 			pw.printf("  LimitHits:    %8d\n", ts.Account.LimitHits)
 			pw.printf("  Evictions:    %8d pages\n", ts.Account.Evictions)
 		}
+		pw.printf("  AnonHuge:     %8d pages\n", ts.Space.AnonHugePages*hugePages)
 		pw.printf("  Faults:       %8d\n", ts.Fault.Count)
 		pw.printf("  FaultP99:     %8v\n", time.Duration(ts.Fault.P99Ns))
 	}

@@ -173,6 +173,8 @@ func WriteMetrics(w io.Writer, src Source) error {
 	p.family("vm_reclaim_injected_stalls_total", "counter", "Direct-reclaim runs failed by the stall failpoint.")
 	p.sample("vm_reclaim_injected_stalls_total", nil, float64(sn.Reclaim.InjectedStalls))
 
+	writeTHPMetrics(p, sn)
+
 	if dom := src.Domain(); dom != nil {
 		rs := dom.Stats()
 		p.family("vm_rcu_grace_periods_total", "counter", "RCU grace periods completed.")
@@ -207,6 +209,36 @@ func WriteMetrics(w io.Writer, src Source) error {
 	writeTenantMetrics(p, sn)
 	writeContentionMetrics(p)
 	return p.err
+}
+
+// writeTHPMetrics emits the machine-wide transparent-huge-page
+// families, summed over the tenants' root spaces (the same rollup
+// meminfo's AnonHugePages line reports).
+func writeTHPMetrics(p *promWriter, sn machine.Snapshot) {
+	var hugeFaults, fallbacks, collapses, collapseFails, splits, zaps uint64
+	var anonHuge int64
+	for _, ts := range sn.Tenants {
+		s := &ts.Space
+		hugeFaults += s.THPHugeFaults
+		fallbacks += s.THPFallbacks
+		collapses += s.THPCollapses
+		collapseFails += s.THPCollapseFails
+		splits += s.THPSplits
+		zaps += s.THPZaps
+		anonHuge += s.AnonHugePages
+	}
+	p.family("vm_thp_faults_total", "counter", "Huge-eligible anonymous faults by outcome: huge entry installed, or fallback to base pages.")
+	p.sample("vm_thp_faults_total", []lbl{{"outcome", "huge"}}, float64(hugeFaults))
+	p.sample("vm_thp_faults_total", []lbl{{"outcome", "fallback"}}, float64(fallbacks))
+	p.family("vm_thp_collapses_total", "counter", "Collapse attempts (background scanner and explicit CollapseRange) by outcome.")
+	p.sample("vm_thp_collapses_total", []lbl{{"outcome", "promoted"}}, float64(collapses))
+	p.sample("vm_thp_collapses_total", []lbl{{"outcome", "aborted"}}, float64(collapseFails))
+	p.family("vm_thp_splits_total", "counter", "Huge entries demoted to base pages in place.")
+	p.sample("vm_thp_splits_total", nil, float64(splits))
+	p.family("vm_thp_zaps_total", "counter", "Huge entries unmapped whole.")
+	p.sample("vm_thp_zaps_total", nil, float64(zaps))
+	p.family("vm_thp_anon_huge_pages", "gauge", "Base pages currently mapped by live huge entries.")
+	p.sample("vm_thp_anon_huge_pages", nil, float64(anonHuge*hugePages))
 }
 
 func writeTenantMetrics(p *promWriter, sn machine.Snapshot) {

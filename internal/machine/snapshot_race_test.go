@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"bonsai/internal/vm"
 	"bonsai/internal/vma"
@@ -84,6 +85,16 @@ func TestSnapshotAdmitEvictRace(t *testing.T) {
 				t.Fatalf("snapshot %d: tenant %s both live and departed", i, dep.Name)
 			}
 		}
+	}
+	// On a fast machine the snapshot loop can finish before the churn
+	// goroutines are even scheduled; wait until churn has done real
+	// work so the quiescent cross-check below checks something.
+	for i := 0; i < 5000; i++ {
+		sn := m.Snapshot()
+		if sn.TenantsEvicted > 0 && sn.Latency.Fault.Count > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
 	}
 	stop.Store(true)
 	wg.Wait()

@@ -44,6 +44,13 @@ func (t *Tables) FillOrUpgrade(addr uint64, pt *PageTable, write bool,
 	idx := index(addr, 1)
 	pt.Lock()
 	defer pt.Unlock()
+	if pt.Dead() {
+		// Detached between the walk and the lock — by munmap (the VMA
+		// recheck below would catch that too) or by the collapser, which
+		// promotes a live region's table to a huge entry; the VMA stays
+		// valid, so only this check sends the fault back to retry.
+		return FillRecheckFailed, nil
+	}
 	if recheck != nil && !recheck() {
 		return FillRecheckFailed, nil
 	}
@@ -132,6 +139,12 @@ func (t *Tables) CloneRange(cpu int, g *tlb.Gather, dst *Tables, lo, hi uint64, 
 	for base := lo &^ (TableSpan - 1); base < hi; base += TableSpan {
 		pt := t.WalkTable(base)
 		if pt == nil {
+			if _, huge := t.WalkHuge(base); huge {
+				// The caller must SplitHugeRange before cloning;
+				// silently skipping would hand the child an
+				// unpopulated span it believes it shares.
+				panic("pagetable: CloneRange over a huge entry (split first)")
+			}
 			continue
 		}
 		clampLo, clampHi := base, base+TableSpan

@@ -50,7 +50,20 @@ const (
 	// with another address space until the first write fault copies it
 	// (the hard case §6 handles with retry-with-lock).
 	PTECow uint64 = 1 << 2
+	// PTEHuge marks a level-2 huge entry: the entry maps a 2 MB
+	// size-aligned run of 512 contiguous frames instead of pointing at
+	// a leaf table (the PS bit of a hardware PMD entry).
+	PTEHuge uint64 = 1 << 3
+	// PTEAccessed is the software accessed bit: set when a translation
+	// is installed or exercised, cleared by the collapse scanner's
+	// clock hand. It is the hotness signal the khugepaged-style
+	// collapser keys on.
+	PTEAccessed uint64 = 1 << 4
 )
+
+// pteFlagsMask covers the low flag bits of a PTE (hardware layout:
+// everything below the frame number).
+const pteFlagsMask = uint64(PageSize - 1)
 
 // MakePTE builds a present PTE for frame with the given writability.
 func MakePTE(f physmem.Frame, writable bool) uint64 {
@@ -128,6 +141,17 @@ type directory struct {
 	dead   atomic.Bool
 	dirs   []atomic.Pointer[directory] // level 3, 4
 	tables []atomic.Pointer[PageTable] // level 2
+
+	// huge holds level-2 huge entries: huge[idx] maps the whole 2 MB
+	// span of entry idx to a contiguous frame run (PTEHuge set). An
+	// entry never has both tables[idx] and huge[idx] live; all writes
+	// to huge happen under the page-directory lock. deposit[idx] is the
+	// pre-allocated leaf table deposited alongside each huge entry (the
+	// kernel's pgtable deposit/withdraw), so demoting the entry back to
+	// base pages never allocates — splits in zap and mprotect paths are
+	// infallible.
+	huge    []atomic.Uint64             // level 2
+	deposit []atomic.Pointer[PageTable] // level 2
 }
 
 // Config configures a Tables.
@@ -158,6 +182,13 @@ type Tables struct {
 	ptesFilled   atomic.Uint64
 	ptesCleared  atomic.Uint64
 	dirDoubleChk atomic.Uint64 // double-check lock acquisitions
+
+	// Huge-entry lifecycle counters. Splits and zaps can originate deep
+	// inside the unmap scan (a partial munmap demotes in unmapDir), so
+	// the tree keeps the authoritative counts rather than its callers.
+	hugeInstalls atomic.Uint64 // entries published (faults + collapses)
+	hugeSplits   atomic.Uint64 // entries demoted to base pages in place
+	hugeZaps     atomic.Uint64 // entries fully unmapped
 }
 
 // New returns an empty four-level page-table tree whose table frames
@@ -183,6 +214,8 @@ func (t *Tables) newDirectory(cpu, level int) (*directory, error) {
 	d := &directory{level: level, frame: f}
 	if level == 2 {
 		d.tables = make([]atomic.Pointer[PageTable], EntriesPerTable)
+		d.huge = make([]atomic.Uint64, EntriesPerTable)
+		d.deposit = make([]atomic.Pointer[PageTable], EntriesPerTable)
 	} else {
 		d.dirs = make([]atomic.Pointer[directory], EntriesPerTable)
 	}
@@ -234,30 +267,58 @@ func checkAddr(addr uint64) {
 
 // Walk performs a lock-free page-table walk (the software analogue of
 // the hardware walker) and returns the PTE mapping addr, or ok=false if
-// any level is missing. Callers racing with unmap must run inside an
-// RCU read-side critical section.
+// any level is missing. A huge level-2 entry is returned as the
+// synthesized base PTE of the covered page (frame = run base + page
+// index, flags inherited), so translation-level callers need not know
+// whether the mapping is huge. Callers racing with unmap must run
+// inside an RCU read-side critical section.
 func (t *Tables) Walk(addr uint64) (pte uint64, ok bool) {
-	pt := t.WalkTable(addr)
-	if pt == nil {
+	checkAddr(addr)
+	d := t.walkLevel2(addr)
+	if d == nil {
 		return 0, false
 	}
-	pte = pt.PTE(index(addr, 1))
-	if pte&PTEPresent == 0 {
-		return 0, false
+	if pt := d.tables[index(addr, 2)].Load(); pt != nil {
+		pte = pt.PTE(index(addr, 1))
+		if pte&PTEPresent == 0 {
+			return 0, false
+		}
+		return pte, true
 	}
-	return pte, true
+	if h := d.huge[index(addr, 2)].Load(); h&PTEPresent != 0 {
+		return hugeBasePTE(h, index(addr, 1)), true
+	}
+	return 0, false
 }
 
-// WalkTable descends lock-free to the leaf table covering addr,
-// returning nil if any level is missing.
-func (t *Tables) WalkTable(addr uint64) *PageTable {
-	checkAddr(addr)
+// hugeBasePTE synthesizes the base-page PTE that page i of a huge
+// entry's span is mapped as: frame run base + i, flags inherited from
+// the huge entry (minus PTEHuge itself).
+func hugeBasePTE(h uint64, i int) uint64 {
+	return (uint64(PTEFrame(h))+uint64(i))<<PageShift | (h & pteFlagsMask &^ PTEHuge)
+}
+
+// walkLevel2 descends lock-free to the level-2 directory covering addr,
+// returning nil if an upper level is missing.
+func (t *Tables) walkLevel2(addr uint64) *directory {
 	d := t.root
 	for d.level > 2 {
 		d = d.dirs[index(addr, d.level)].Load()
 		if d == nil {
 			return nil
 		}
+	}
+	return d
+}
+
+// WalkTable descends lock-free to the leaf table covering addr,
+// returning nil if any level is missing or the span is mapped by a
+// huge entry (check WalkHuge to distinguish).
+func (t *Tables) WalkTable(addr uint64) *PageTable {
+	checkAddr(addr)
+	d := t.walkLevel2(addr)
+	if d == nil {
+		return nil
 	}
 	return d.tables[index(addr, 2)].Load()
 }
@@ -266,8 +327,56 @@ func (t *Tables) WalkTable(addr uint64) *PageTable {
 // levels with the optimistic double-check protocol from §4.1: allocate
 // outside the page-directory lock, then take the lock only to re-check
 // and install, discarding the allocation if a concurrent fault won.
+// When the span is mapped by a huge entry it returns ErrHugeMapped —
+// the caller's fault is already satisfied (or must retry and take the
+// huge path); installing a leaf table would shadow the huge mapping.
 func (t *Tables) EnsureTable(cpu int, addr uint64) (*PageTable, error) {
 	checkAddr(addr)
+	for {
+		d, err := t.ensureLevel2(cpu, addr)
+		if err != nil {
+			return nil, err
+		}
+		idx := index(addr, 2)
+		if d.huge[idx].Load()&PTEPresent != 0 {
+			return nil, ErrHugeMapped
+		}
+		pt := d.tables[idx].Load()
+		if pt != nil {
+			return pt, nil
+		}
+		fresh, err := t.newPageTable(cpu)
+		if err != nil {
+			return nil, err
+		}
+		t.dirLock.Lock()
+		t.dirDoubleChk.Add(1)
+		switch cur := d.tables[idx].Load(); {
+		case d.dead.Load():
+			t.dirLock.Unlock()
+			t.discardPageTable(cpu, fresh)
+			continue // restart from the root
+		case d.huge[idx].Load()&PTEPresent != 0:
+			// A racing huge-page fault installed a huge entry while we
+			// allocated: its 2 MB mapping covers addr.
+			t.dirLock.Unlock()
+			t.discardPageTable(cpu, fresh)
+			return nil, ErrHugeMapped
+		case cur != nil:
+			t.dirLock.Unlock()
+			t.discardPageTable(cpu, fresh)
+			return cur, nil
+		default:
+			d.tables[idx].Store(fresh)
+			t.dirLock.Unlock()
+			return fresh, nil
+		}
+	}
+}
+
+// ensureLevel2 descends to the level-2 directory covering addr,
+// allocating missing upper levels with the §4.1 double-check protocol.
+func (t *Tables) ensureLevel2(cpu int, addr uint64) (*directory, error) {
 restart:
 	d := t.root
 	for d.level > 2 {
@@ -300,31 +409,7 @@ restart:
 		}
 		d = next
 	}
-	idx := index(addr, 2)
-	pt := d.tables[idx].Load()
-	if pt == nil {
-		fresh, err := t.newPageTable(cpu)
-		if err != nil {
-			return nil, err
-		}
-		t.dirLock.Lock()
-		t.dirDoubleChk.Add(1)
-		switch cur := d.tables[idx].Load(); {
-		case d.dead.Load():
-			t.dirLock.Unlock()
-			t.discardPageTable(cpu, fresh)
-			goto restart
-		case cur != nil:
-			pt = cur
-			t.dirLock.Unlock()
-			t.discardPageTable(cpu, fresh)
-		default:
-			d.tables[idx].Store(fresh)
-			t.dirLock.Unlock()
-			pt = fresh
-		}
-	}
-	return pt, nil
+	return d, nil
 }
 
 // discardDirectory returns an optimistically allocated directory that
@@ -359,6 +444,13 @@ func (t *Tables) FillPTE(addr uint64, pt *PageTable, recheck func() bool,
 	idx := index(addr, 1)
 	pt.Lock()
 	defer pt.Unlock()
+	if pt.Dead() {
+		// Detached between the walk and the lock. A VMA recheck cannot
+		// catch this when the region is still live: the collapser
+		// detaches tables under live VMAs (promoting them to huge
+		// entries), unlike munmap. Retry from the walk.
+		return false, false, nil
+	}
 	if recheck != nil && !recheck() {
 		return false, false, nil
 	}
@@ -420,6 +512,21 @@ func (t *Tables) unmapDir(g *tlb.Gather, d *directory, lo, hi uint64, onPage fun
 
 		if d.level == 2 {
 			pt := d.tables[idx].Load()
+			if pt == nil && d.huge[idx].Load()&PTEPresent != 0 {
+				if full {
+					// The range covers the whole huge entry: zap it as
+					// one batch — 512 pages, one flush (Figure 11's
+					// batching at its best).
+					t.zapHuge(g, d, idx, base, onPage)
+					continue
+				}
+				// Partial cover: demote to base pages first (the
+				// deposited table makes this infallible), then fall
+				// through to the ordinary sub-range clear riding the
+				// same gather.
+				t.splitHugeEntry(g, d, idx, base)
+				pt = d.tables[idx].Load()
+			}
 			if pt == nil {
 				continue
 			}

@@ -1,17 +1,48 @@
 package pagetable
 
+import "bonsai/internal/tlb"
+
 // WriteProtectRange clears the writable bit of every present PTE in
-// [lo, hi) under the PTE locks, for mprotect downgrades. Upgrades need
-// no PTE pass: write faults re-enable writability on demand through
-// FillOrUpgrade. It returns the number of entries downgraded.
-func (t *Tables) WriteProtectRange(lo, hi uint64) (downgraded int) {
+// [lo, hi) for mprotect downgrades. Upgrades need no PTE pass: write
+// faults re-enable writability on demand through FillOrUpgrade (base
+// pages) or UpgradeHuge. A huge entry fully covered by the range is
+// downgraded in place under the page-directory lock — one entry, one
+// revoked translation; a partially covered one is split first (riding
+// g, like a partial munmap) and its covered base PTEs downgraded. It
+// returns the number of translations narrowed (the caller revokes that
+// many in its gather and flushes) and the number of huge entries split.
+func (t *Tables) WriteProtectRange(g *tlb.Gather, lo, hi uint64) (downgraded, hugeSplits int) {
 	if lo >= hi {
-		return 0
+		return 0, 0
 	}
 	for base := lo &^ (TableSpan - 1); base < hi; base += TableSpan {
 		pt := t.WalkTable(base)
 		if pt == nil {
-			continue
+			d := t.walkLevel2(base)
+			if d == nil {
+				continue
+			}
+			idx := index(base, 2)
+			if d.huge[idx].Load()&PTEPresent == 0 {
+				continue
+			}
+			if base >= lo && base+TableSpan <= hi {
+				// Fully covered: downgrade the huge entry in place.
+				t.dirLock.Lock()
+				if h := d.huge[idx].Load(); h&PTEPresent != 0 && h&PTEWritable != 0 {
+					d.huge[idx].Store(h &^ PTEWritable)
+					downgraded++
+				}
+				t.dirLock.Unlock()
+				continue
+			}
+			// Partial cover: demote to base pages, then fall through to
+			// the per-PTE downgrade of the covered sub-range.
+			pt = t.splitHugeEntry(g, d, idx, base)
+			if pt == nil {
+				continue
+			}
+			hugeSplits++
 		}
 		clampLo, clampHi := base, base+TableSpan
 		if clampLo < lo {
@@ -22,6 +53,10 @@ func (t *Tables) WriteProtectRange(lo, hi uint64) (downgraded int) {
 		}
 		first, last := index(clampLo, 1), index(clampHi-1, 1)
 		pt.Lock()
+		if pt.Dead() {
+			pt.Unlock()
+			continue
+		}
 		for i := first; i <= last; i++ {
 			pte := pt.PTE(i)
 			if pte&PTEPresent == 0 || pte&PTEWritable == 0 {
@@ -32,5 +67,5 @@ func (t *Tables) WriteProtectRange(lo, hi uint64) (downgraded int) {
 		}
 		pt.Unlock()
 	}
-	return downgraded
+	return downgraded, hugeSplits
 }

@@ -88,15 +88,17 @@ func (ac *Account) OverLimit() bool {
 	return lim > 0 && ac.charged.Load() >= lim
 }
 
-// tryCharge charges one frame, refusing (and counting a limit hit)
-// when the charge would exceed the limit.
-func (ac *Account) tryCharge() bool {
+// tryChargeN charges count frames as one atomic step, refusing (and
+// counting a limit hit) when the whole charge would exceed the limit.
+// A contiguous run charges all-or-nothing: a tenant near its limit
+// must not end up holding half a huge run's charge.
+func (ac *Account) tryChargeN(count int64) bool {
 	lim := ac.limit.Load()
-	n := ac.charged.Add(1)
+	n := ac.charged.Add(count)
 	if lim > 0 && n > lim {
-		ac.charged.Add(-1)
+		ac.charged.Add(-count)
 		ac.limitHits.Add(1)
-		trace.Emit(trace.AuxCPU, trace.EvTenantRefuse, ac.tag, uint64(n-1), uint64(lim))
+		trace.Emit(trace.AuxCPU, trace.EvTenantRefuse, ac.tag, uint64(n-count), uint64(lim))
 		return false
 	}
 	trace.Emit(trace.AuxCPU, trace.EvTenantCharge, ac.tag, uint64(n), uint64(lim))
@@ -108,9 +110,9 @@ func (ac *Account) tryCharge() bool {
 	}
 }
 
-// uncharge returns one frame's charge.
-func (ac *Account) uncharge() {
-	if ac.charged.Add(-1) < 0 {
+// unchargeN returns count frames' charge.
+func (ac *Account) unchargeN(count int64) {
+	if ac.charged.Add(-count) < 0 {
 		panic("physmem: account charge underflow")
 	}
 }
@@ -182,6 +184,6 @@ func (a *Allocator) Owner(f Frame) *Account {
 // back to a pool.
 func (a *Allocator) unchargeFrame(f Frame) {
 	if ac := a.owner[f].Swap(nil); ac != nil {
-		ac.uncharge()
+		ac.unchargeN(1)
 	}
 }

@@ -104,11 +104,11 @@ func TestAccountUnlimitedAndZeroLimit(t *testing.T) {
 
 func TestAccountEvictionFairnessSampling(t *testing.T) {
 	ac := NewAccount("t", 4)
-	ac.tryCharge() // charged=1, under limit
+	ac.tryChargeN(1) // charged=1, under limit
 	ac.NoteEviction(true)
 	ac.NoteEviction(false) // own-scan eviction never counts
 	for ac.Charged() < 4 {
-		ac.tryCharge()
+		ac.tryChargeN(1)
 	}
 	ac.NoteEviction(true) // at limit: over-limit, not counted
 	st := ac.Stats()

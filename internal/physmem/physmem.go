@@ -3,16 +3,21 @@
 // allocator the paper's microbenchmark bottoms out in (§7.3 observes
 // "slight non-scalability in the Linux page allocator").
 //
-// The allocator keeps a global free stack protected by a spinlock plus
-// per-CPU magazines so the common path touches only its own CPU's
-// cache lines, like the kernel's per-CPU page lists. Each magazine has
-// its own spinlock (uncontended in the common path — the kernel made
-// the same move when per-CPU page lists grew remote draining) so that
-// reclaim can steal frames stranded in idle magazines instead of
-// reporting out-of-memory while free frames exist. A frame-state
-// bitmap detects double allocation and double free, which turns RCU
-// use-after-free bugs in the VM layer (freeing a frame before a grace
-// period) into hard test failures instead of silent corruption.
+// The allocator is a binary buddy system: free memory is kept as
+// power-of-two blocks on per-order free lists (order 0 = one 4 KiB
+// frame, order 9 = one 2 MiB run), blocks split on allocation and
+// coalesce with their buddy on free, so contiguous runs for huge
+// mappings stay allocatable as long as the frames themselves are free.
+// Per-CPU magazines cache order-0 frames in front of the buddy lists so
+// the common single-frame path touches only its own CPU's cache lines,
+// like the kernel's per-CPU page lists. Each magazine has its own
+// spinlock (uncontended in the common path — the kernel made the same
+// move when per-CPU page lists grew remote draining) so that reclaim
+// can steal frames stranded in idle magazines instead of reporting
+// out-of-memory while free frames exist. A frame-state bitmap detects
+// double allocation and double free, which turns RCU use-after-free
+// bugs in the VM layer (freeing a frame before a grace period) into
+// hard test failures instead of silent corruption.
 //
 // Watermarks: Config.LowWater/HighWater define the memory-pressure
 // band the reclaim subsystem (internal/reclaim) operates in. When free
@@ -35,14 +40,22 @@ import (
 // exhaustion outright — the shortfall the VM layer must answer with
 // direct reclaim and, eventually, a typed ErrNoMemory — and failDrain
 // makes the magazine steal come back empty-handed, starving the
-// last-resort path that normally hides stranded frames.
+// last-resort path that normally hides stranded frames. failRunAlloc
+// makes AllocRun report a run shortage for order > 0 requests: the
+// typed signal the huge-page fault path must answer by falling back to
+// base pages, never by surfacing an error.
 var (
-	failAlloc = fail.NewPoint("physmem.alloc")
-	failDrain = fail.NewPoint("physmem.drain")
+	failAlloc    = fail.NewPoint("physmem.alloc")
+	failDrain    = fail.NewPoint("physmem.drain")
+	failRunAlloc = fail.NewPoint("physmem.run-alloc")
 )
 
 // PageSize is the size of a physical frame in bytes (x86-64 small page).
 const PageSize = 4096
+
+// MaxOrder is the largest buddy order: an order-9 block is 512
+// contiguous frames — the 2 MiB run backing one huge mapping.
+const MaxOrder = 9
 
 // Frame is a physical frame number. The zero Frame is never allocated
 // and acts as an invalid sentinel.
@@ -53,6 +66,13 @@ const NoFrame Frame = 0
 
 // ErrOutOfMemory is returned when no frames remain.
 var ErrOutOfMemory = errors.New("physmem: out of frames")
+
+// ErrNoRun is returned by AllocRun when the buddy lists hold no
+// contiguous block of the requested order even after draining the
+// magazines. The pool may have plenty of free frames — they are just
+// fragmented — so the caller's correct response is to fall back to
+// base pages, not to reclaim.
+var ErrNoRun = errors.New("physmem: no contiguous run of requested order")
 
 // Config configures an Allocator.
 type Config struct {
@@ -85,14 +105,29 @@ type magazine struct {
 	_      [64]byte
 }
 
+// noOrder marks a frame that is not the base of a free buddy block.
+const noOrder = 0xff
+
 // Allocator is a physical frame allocator. Alloc and Free are safe for
 // concurrent use; each CPU id should be used by one goroutine at a
 // time (the per-magazine locks make violations safe, merely slow).
 type Allocator struct {
 	cfg Config
 
-	mu   locks.SpinLock
-	free []Frame // global stack
+	// mu protects the buddy structure: freeLists, blockOrder, blockIdx.
+	mu locks.SpinLock
+
+	// freeLists[o] holds the bases of free blocks of 1<<o frames. Every
+	// base is aligned to its block size; New pushes the initial carving
+	// in descending base order so low frames are allocated first.
+	freeLists [MaxOrder + 1][]Frame
+
+	// blockOrder[f] is the order of the free block based at f, or
+	// noOrder when f is allocated, magazine-cached, or interior to a
+	// block. blockIdx[f] is the block's position in its free list, so
+	// coalescing removes a buddy in O(1) by swap-remove.
+	blockOrder []uint8
+	blockIdx   []int32
 
 	mags []magazine
 
@@ -130,6 +165,10 @@ type Allocator struct {
 	refills        atomic.Uint64
 	drains         atomic.Uint64
 	drained        atomic.Uint64
+	runAllocs      atomic.Uint64
+	runFailures    atomic.Uint64
+	splits         atomic.Uint64
+	coalesces      atomic.Uint64
 	allocFailures  atomic.Uint64
 	limitFailures  atomic.Uint64
 	pressureEvents atomic.Uint64
@@ -151,24 +190,121 @@ func New(cfg Config) *Allocator {
 		cfg.HighWater = cfg.LowWater
 	}
 	a := &Allocator{
-		cfg:      cfg,
-		free:     make([]Frame, 0, cfg.Frames),
-		mags:     make([]magazine, cfg.CPUs),
-		state:    make([]atomic.Uint64, (cfg.Frames+1+63)/64),
-		refs:     make([]atomic.Int32, cfg.Frames+1),
-		gens:     make([]atomic.Uint64, cfg.Frames+1),
-		accounts: make([]atomic.Pointer[Account], cfg.CPUs),
-		owner:    make([]atomic.Pointer[Account], cfg.Frames+1),
-		pressure: make(chan struct{}, 1),
+		cfg:        cfg,
+		blockOrder: make([]uint8, cfg.Frames+1),
+		blockIdx:   make([]int32, cfg.Frames+1),
+		mags:       make([]magazine, cfg.CPUs),
+		state:      make([]atomic.Uint64, (cfg.Frames+1+63)/64),
+		refs:       make([]atomic.Int32, cfg.Frames+1),
+		gens:       make([]atomic.Uint64, cfg.Frames+1),
+		accounts:   make([]atomic.Pointer[Account], cfg.CPUs),
+		owner:      make([]atomic.Pointer[Account], cfg.Frames+1),
+		pressure:   make(chan struct{}, 1),
 	}
-	// Push descending so low frames are allocated first.
-	for f := Frame(cfg.Frames); f >= 1; f-- {
-		a.free = append(a.free, f)
+	for i := range a.blockOrder {
+		a.blockOrder[i] = noOrder
+	}
+	// Carve [1, Frames] into maximal size-aligned blocks, pushed in
+	// descending base order so each list's stack top is its lowest base
+	// and low frames are allocated first.
+	blocks := carve(cfg.Frames)
+	for i := len(blocks) - 1; i >= 0; i-- {
+		a.pushBlockLocked(blocks[i].base, blocks[i].order)
 	}
 	if cfg.Backing {
 		a.backing = make([]atomic.Pointer[[PageSize]byte], cfg.Frames+1)
 	}
 	return a
+}
+
+type block struct {
+	base  Frame
+	order int
+}
+
+// carve splits [1, frames] into maximal blocks, each aligned to its own
+// size, in ascending base order. This is the buddy structure's quiesce
+// state: freeing everything coalesces back to exactly this carving.
+func carve(frames uint64) []block {
+	var blocks []block
+	for lo := uint64(1); lo <= frames; {
+		order := 0
+		for order < MaxOrder &&
+			lo%(1<<(order+1)) == 0 &&
+			lo+(1<<(order+1))-1 <= frames {
+			order++
+		}
+		blocks = append(blocks, block{Frame(lo), order})
+		lo += 1 << order
+	}
+	return blocks
+}
+
+// pushBlockLocked adds a free block to its order's list. Caller holds mu
+// (or is New, before the allocator is published).
+func (a *Allocator) pushBlockLocked(base Frame, order int) {
+	a.blockOrder[base] = uint8(order)
+	a.blockIdx[base] = int32(len(a.freeLists[order]))
+	a.freeLists[order] = append(a.freeLists[order], base)
+}
+
+// removeBlockLocked unlinks a known-free block from its order's list by
+// swap-remove, fixing the moved block's index. Caller holds mu.
+func (a *Allocator) removeBlockLocked(base Frame, order int) {
+	list := a.freeLists[order]
+	idx := a.blockIdx[base]
+	last := list[len(list)-1]
+	list[idx] = last
+	a.blockIdx[last] = idx
+	a.freeLists[order] = list[:len(list)-1]
+	a.blockOrder[base] = noOrder
+}
+
+// allocBlockLocked takes one free block of exactly the requested order,
+// splitting the smallest larger block when the order's own list is
+// empty (the split keeps the low half and frees the high buddy, so
+// allocation stays low-frames-first). Caller holds mu.
+func (a *Allocator) allocBlockLocked(order int) (Frame, bool) {
+	o := order
+	for o <= MaxOrder && len(a.freeLists[o]) == 0 {
+		o++
+	}
+	if o > MaxOrder {
+		return NoFrame, false
+	}
+	list := a.freeLists[o]
+	base := list[len(list)-1]
+	a.freeLists[o] = list[:len(list)-1]
+	a.blockOrder[base] = noOrder
+	for o > order {
+		o--
+		a.splits.Add(1)
+		a.pushBlockLocked(base+Frame(1)<<o, o)
+	}
+	return base, true
+}
+
+// freeBlockLocked returns a block to the buddy lists, coalescing with
+// its buddy as long as the buddy is a free block of the same order and
+// the merged block stays inside the pool. Caller holds mu.
+func (a *Allocator) freeBlockLocked(base Frame, order int) {
+	for order < MaxOrder {
+		size := Frame(1) << order
+		buddy := base ^ size
+		if buddy < 1 || uint64(buddy)+uint64(size)-1 > a.cfg.Frames {
+			break
+		}
+		if a.blockOrder[buddy] != uint8(order) {
+			break
+		}
+		a.removeBlockLocked(buddy, order)
+		a.coalesces.Add(1)
+		if buddy < base {
+			base = buddy
+		}
+		order++
+	}
+	a.pushBlockLocked(base, order)
 }
 
 func (a *Allocator) setAllocated(f Frame) {
@@ -198,7 +334,7 @@ func (a *Allocator) Allocated(f Frame) bool {
 
 // Alloc allocates a frame using cpu's magazine. If Backing is enabled
 // the frame's buffer is zeroed before return. When both the magazine
-// and the global pool are empty, Alloc steals frames stranded in other
+// and the buddy lists are empty, Alloc steals frames stranded in other
 // CPUs' magazines (DrainMagazines) as a last resort before reporting
 // ErrOutOfMemory, so the error means the pool is genuinely exhausted —
 // the condition the VM layer answers with direct reclaim.
@@ -211,7 +347,7 @@ func (a *Allocator) Alloc(cpu int) (Frame, error) {
 	// tenant must not consume a frame another tenant could have used,
 	// even transiently.
 	ac := a.accounts[cpu%len(a.mags)].Load()
-	if ac != nil && !ac.tryCharge() {
+	if ac != nil && !ac.tryChargeN(1) {
 		a.limitFailures.Add(1)
 		return NoFrame, ErrOverLimit
 	}
@@ -221,14 +357,14 @@ func (a *Allocator) Alloc(cpu int) (Frame, error) {
 		if a.DrainMagazines() == 0 {
 			a.allocFailures.Add(1)
 			if ac != nil {
-				ac.uncharge()
+				ac.unchargeN(1)
 			}
 			return NoFrame, err
 		}
 		if f, err = a.popMagazine(m); err != nil {
 			a.allocFailures.Add(1)
 			if ac != nil {
-				ac.uncharge()
+				ac.unchargeN(1)
 			}
 			return NoFrame, err
 		}
@@ -242,20 +378,109 @@ func (a *Allocator) Alloc(cpu int) (Frame, error) {
 	a.allocs.Add(1)
 	a.inUse.Add(1)
 	a.notePressure()
-	if a.backing != nil {
-		buf := a.backing[f].Load()
-		if buf == nil {
-			buf = new([PageSize]byte)
-			a.backing[f].Store(buf)
-		} else {
-			*buf = [PageSize]byte{}
-		}
-	}
+	a.zeroBacking(f)
 	return f, nil
 }
 
-// popMagazine takes one frame from m, refilling it from the global
-// pool when empty.
+// AllocRun allocates 1<<order contiguous, size-aligned frames and
+// returns the first. The run's frames are independent once allocated:
+// each carries its own reference count, generation, and owner stamp,
+// and each returns to the pool through the ordinary free paths (a split
+// huge mapping retires its frames one at a time through a TLB gather's
+// FreeBatch, and the buddy lists coalesce them back into runs).
+//
+// A run shortage is reported as ErrNoRun — typed separately from
+// ErrOutOfMemory because the pool may hold plenty of fragmented free
+// frames; the huge-page fault path answers it by falling back to base
+// pages. An account at its frame limit gets ErrOverLimit, charged and
+// refused atomically for the whole run.
+func (a *Allocator) AllocRun(cpu, order int) (Frame, error) {
+	if order < 0 || order > MaxOrder {
+		panic(fmt.Sprintf("physmem: AllocRun order %d out of range", order))
+	}
+	if order == 0 {
+		return a.Alloc(cpu)
+	}
+	if failRunAlloc.Fire() {
+		a.runFailures.Add(1)
+		return NoFrame, ErrNoRun
+	}
+	n := int64(1) << order
+	ac := a.accounts[cpu%len(a.mags)].Load()
+	if ac != nil && !ac.tryChargeN(n) {
+		a.limitFailures.Add(1)
+		return NoFrame, ErrOverLimit
+	}
+	a.mu.Lock()
+	base, ok := a.allocBlockLocked(order)
+	a.mu.Unlock()
+	if !ok {
+		// Magazine-cached order-0 frames may be exactly the holes
+		// keeping a run from coalescing; pull them back and retry once.
+		if a.DrainMagazines() > 0 {
+			a.mu.Lock()
+			base, ok = a.allocBlockLocked(order)
+			a.mu.Unlock()
+		}
+		if !ok {
+			a.runFailures.Add(1)
+			if ac != nil {
+				ac.unchargeN(n)
+			}
+			return NoFrame, ErrNoRun
+		}
+	}
+	for f := base; f < base+Frame(n); f++ {
+		if ac != nil {
+			a.owner[f].Store(ac)
+		}
+		a.setAllocated(f)
+		a.gens[f].Add(1)
+		a.refs[f].Store(1)
+		a.zeroBacking(f)
+	}
+	a.runAllocs.Add(1)
+	a.allocs.Add(uint64(n))
+	a.inUse.Add(n)
+	a.notePressure()
+	return base, nil
+}
+
+// FreeRun drops one reference from each frame of a run allocated by
+// AllocRun, returning final frames to the buddy lists under a single
+// allocator-lock acquisition. Like FreeRemote it is safe from any
+// goroutine; frames reachable by concurrent RCU readers must not reach
+// it until a grace period has elapsed.
+func (a *Allocator) FreeRun(base Frame, order int) {
+	if order < 0 || order > MaxOrder {
+		panic(fmt.Sprintf("physmem: FreeRun order %d out of range", order))
+	}
+	n := Frame(1) << order
+	if base == NoFrame || uint64(base)+uint64(n)-1 > a.cfg.Frames {
+		panic(fmt.Sprintf("physmem: FreeRun of invalid run %d+%d", base, n))
+	}
+	frames := make([]Frame, n)
+	for i := range frames {
+		frames[i] = base + Frame(i)
+	}
+	a.FreeBatch(frames)
+}
+
+func (a *Allocator) zeroBacking(f Frame) {
+	if a.backing == nil {
+		return
+	}
+	buf := a.backing[f].Load()
+	if buf == nil {
+		buf = new([PageSize]byte)
+		a.backing[f].Store(buf)
+	} else {
+		*buf = [PageSize]byte{}
+	}
+}
+
+// popMagazine takes one frame from m, refilling it from the buddy
+// lists when empty.
 func (a *Allocator) popMagazine(m *magazine) (Frame, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -269,34 +494,40 @@ func (a *Allocator) popMagazine(m *magazine) (Frame, error) {
 	return f, nil
 }
 
-// refillLocked moves frames from the global pool into m. The caller
-// holds m.mu; the lock order is always magazine lock before the global
-// lock (DrainMagazines collects under the magazine locks first and
-// pushes to the global pool afterwards for the same reason).
+// refillLocked moves order-0 frames from the buddy lists into m,
+// splitting larger blocks as needed. The caller holds m.mu; the lock
+// order is always magazine lock before the global lock (DrainMagazines
+// collects under the magazine locks first and pushes to the buddy
+// lists afterwards for the same reason).
 func (a *Allocator) refillLocked(m *magazine) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if len(a.free) == 0 {
-		return ErrOutOfMemory
-	}
 	n := a.cfg.MagazineSize / 2
 	if n == 0 {
 		n = 1
 	}
-	if n > len(a.free) {
-		n = len(a.free)
+	got := 0
+	for ; got < n; got++ {
+		f, ok := a.allocBlockLocked(0)
+		if !ok {
+			break
+		}
+		m.frames = append(m.frames, f)
 	}
-	m.frames = append(m.frames, a.free[len(a.free)-n:]...)
-	a.free = a.free[:len(a.free)-n]
+	if got == 0 {
+		return ErrOutOfMemory
+	}
 	a.refills.Add(1)
 	return nil
 }
 
 // DrainMagazines steals every frame cached in the per-CPU magazines
-// back into the global pool and returns how many were recovered. The
-// reclaim subsystem calls it before evicting pages, and Alloc calls it
-// as a last resort, so frames stranded in an idle CPU's magazine can
-// never cause a spurious ErrOutOfMemory.
+// back into the buddy lists (coalescing as it goes) and returns how
+// many were recovered. The reclaim subsystem calls it before evicting
+// pages, and Alloc calls it as a last resort, so frames stranded in an
+// idle CPU's magazine can never cause a spurious ErrOutOfMemory;
+// AllocRun calls it so magazine-cached frames can never hold a
+// coalesceable run hostage.
 func (a *Allocator) DrainMagazines() int {
 	if failDrain.Fire() {
 		return 0
@@ -315,7 +546,9 @@ func (a *Allocator) DrainMagazines() int {
 		return 0
 	}
 	a.mu.Lock()
-	a.free = append(a.free, stolen...)
+	for _, f := range stolen {
+		a.freeBlockLocked(f, 0)
+	}
 	a.mu.Unlock()
 	a.drains.Add(1)
 	a.drained.Add(uint64(len(stolen)))
@@ -339,7 +572,7 @@ func (a *Allocator) Refs(f Frame) int32 { return a.refs[f].Load() }
 
 // Free drops one reference to the frame; the frame returns to cpu's
 // magazine when the last reference is dropped (spilling half the
-// magazine to the global pool when it overflows).
+// magazine to the buddy lists when it overflows).
 //
 // Frames reachable by concurrent RCU readers must not be passed to Free
 // until a grace period has elapsed (use rcu.Domain.Defer); the state
@@ -364,7 +597,9 @@ func (a *Allocator) Free(cpu int, f Frame) {
 	if len(m.frames) > a.cfg.MagazineSize {
 		spill := len(m.frames) / 2
 		a.mu.Lock()
-		a.free = append(a.free, m.frames[len(m.frames)-spill:]...)
+		for _, sf := range m.frames[len(m.frames)-spill:] {
+			a.freeBlockLocked(sf, 0)
+		}
 		a.mu.Unlock()
 		m.frames = m.frames[:len(m.frames)-spill]
 	}
@@ -373,7 +608,7 @@ func (a *Allocator) Free(cpu int, f Frame) {
 }
 
 // FreeRemote drops one reference like Free, but returns a final frame
-// directly to the global pool under the allocator lock. Unlike Free it
+// directly to the buddy lists under the allocator lock. Unlike Free it
 // is safe from any goroutine, which is what RCU callbacks need: a
 // deferred free runs on whichever goroutine drives the grace period,
 // not on the CPU that queued it.
@@ -392,18 +627,20 @@ func (a *Allocator) FreeRemote(f Frame) {
 	a.frees.Add(1)
 	a.inUse.Add(-1)
 	a.mu.Lock()
-	a.free = append(a.free, f)
+	a.freeBlockLocked(f, 0)
 	a.mu.Unlock()
 	a.rearmPressure()
 }
 
 // FreeBatch drops one reference from each frame, returning every frame
-// whose last reference dropped to the global pool under a single
+// whose last reference dropped to the buddy lists under a single
 // allocator-lock acquisition — the batched analogue of FreeRemote the
 // TLB-gather flush path uses, so a 1024-page unmap pays one lock round
-// instead of 1024. Like FreeRemote it is safe from any goroutine, and
-// frames reachable by concurrent RCU readers must not reach it until a
-// grace period has elapsed.
+// instead of 1024. Freed frames coalesce with their buddies, so the
+// zap of a split huge mapping reassembles the 2 MiB run. Like
+// FreeRemote it is safe from any goroutine, and frames reachable by
+// concurrent RCU readers must not reach it until a grace period has
+// elapsed.
 func (a *Allocator) FreeBatch(frames []Frame) {
 	final := 0
 	for _, f := range frames {
@@ -427,7 +664,9 @@ func (a *Allocator) FreeBatch(frames []Frame) {
 	a.frees.Add(uint64(final))
 	a.inUse.Add(int64(-final))
 	a.mu.Lock()
-	a.free = append(a.free, frames[:final]...)
+	for _, f := range frames[:final] {
+		a.freeBlockLocked(f, 0)
+	}
 	a.mu.Unlock()
 	a.rearmPressure()
 }
@@ -440,6 +679,52 @@ func (a *Allocator) Gen(f Frame) uint64 {
 		panic(fmt.Sprintf("physmem: Gen of invalid frame %d", f))
 	}
 	return a.gens[f].Load()
+}
+
+// AuditBuddy validates the buddy structure: every free block is
+// size-aligned and in range, its bookkeeping (blockOrder/blockIdx)
+// matches its list position, no two free blocks overlap, no free
+// block's frame is marked allocated, and coalescing is maximal (no two
+// buddies sit free at the same order). Tests and the fuzz harness call
+// it at quiesce points; it takes the allocator lock for the duration.
+func (a *Allocator) AuditBuddy() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := make(map[Frame]bool)
+	for order := 0; order <= MaxOrder; order++ {
+		size := Frame(1) << order
+		for idx, base := range a.freeLists[order] {
+			if base < 1 || uint64(base)+uint64(size)-1 > a.cfg.Frames {
+				return fmt.Errorf("order-%d block %d out of range", order, base)
+			}
+			if uint64(base)%uint64(size) != 0 {
+				return fmt.Errorf("order-%d block %d misaligned", order, base)
+			}
+			if a.blockOrder[base] != uint8(order) {
+				return fmt.Errorf("block %d order mismatch: list %d, tag %d", base, order, a.blockOrder[base])
+			}
+			if a.blockIdx[base] != int32(idx) {
+				return fmt.Errorf("block %d index mismatch: at %d, tag %d", base, idx, a.blockIdx[base])
+			}
+			for f := base; f < base+size; f++ {
+				if seen[f] {
+					return fmt.Errorf("frame %d in two free blocks", f)
+				}
+				seen[f] = true
+				if a.Allocated(f) {
+					return fmt.Errorf("frame %d free in order-%d block but marked allocated", f, order)
+				}
+			}
+			if order < MaxOrder {
+				buddy := base ^ size
+				if buddy >= 1 && uint64(buddy)+uint64(size)-1 <= a.cfg.Frames &&
+					a.blockOrder[buddy] == uint8(order) {
+					return fmt.Errorf("order-%d buddies %d and %d both free (missed coalesce)", order, base, buddy)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // notePressure publishes one wake-up token when free frames fall below
@@ -482,6 +767,20 @@ func (a *Allocator) Pressure() <-chan struct{} { return a.pressure }
 // cached in per-CPU magazines (DrainMagazines can always recover those).
 func (a *Allocator) FreeFrames() int64 { return int64(a.cfg.Frames) - a.inUse.Load() }
 
+// FreeRuns returns the number of free order-`order` blocks currently on
+// that buddy list (not counting larger blocks that could split). The
+// collapser reads it to gauge whether promoting base pages to a huge
+// run is worth attempting.
+func (a *Allocator) FreeRuns(order int) int {
+	if order < 0 || order > MaxOrder {
+		return 0
+	}
+	a.mu.Lock()
+	n := len(a.freeLists[order])
+	a.mu.Unlock()
+	return n
+}
+
 // NumFrames returns the configured pool size in frames.
 func (a *Allocator) NumFrames() uint64 { return a.cfg.Frames }
 
@@ -510,14 +809,18 @@ func (a *Allocator) InUse() int64 { return a.inUse.Load() }
 type Stats struct {
 	Allocs         uint64
 	Frees          uint64
-	Refills        uint64 // global-pool refills (the contended path)
+	Refills        uint64 // buddy-list refills of a magazine (the contended path)
 	Drains         uint64 // DrainMagazines calls that recovered frames
 	Drained        uint64 // frames recovered from magazines
+	RunAllocs      uint64 // contiguous runs handed out by AllocRun (order > 0)
+	RunFailures    uint64 // AllocRuns refused for lack of a contiguous block
+	BuddySplits    uint64 // blocks split to satisfy a smaller order
+	BuddyCoalesces uint64 // buddy merges performed on free
 	AllocFailures  uint64 // Allocs that returned ErrOutOfMemory
 	LimitFailures  uint64 // Allocs refused at an account limit (ErrOverLimit)
 	PressureEvents uint64 // low-watermark crossings signaled
 	InUse          int64
-	Free           int64 // unallocated frames (global pool + magazines)
+	Free           int64 // unallocated frames (buddy lists + magazines)
 }
 
 // Stats returns a snapshot of the allocator's counters.
@@ -528,6 +831,10 @@ func (a *Allocator) Stats() Stats {
 		Refills:        a.refills.Load(),
 		Drains:         a.drains.Load(),
 		Drained:        a.drained.Load(),
+		RunAllocs:      a.runAllocs.Load(),
+		RunFailures:    a.runFailures.Load(),
+		BuddySplits:    a.splits.Load(),
+		BuddyCoalesces: a.coalesces.Load(),
 		AllocFailures:  a.allocFailures.Load(),
 		LimitFailures:  a.limitFailures.Load(),
 		PressureEvents: a.pressureEvents.Load(),

@@ -53,11 +53,12 @@ type Config struct {
 	// Workers is the number of churn goroutines per machine. Zero
 	// means 4.
 	Workers int
-	// Frames sizes each epoch's machine. Zero means 768 — deliberately
-	// smaller than the epoch's peak demand (worker arenas + ballast +
-	// file pages), so the reclaim → retry-budget → OOM-kill ladder runs
-	// for real: ballast spaces get reaped, and operations that lose
-	// even then surface ErrNoMemory and carry on.
+	// Frames sizes each epoch's machine. Zero means 1536 — deliberately
+	// smaller than the epoch's peak demand (worker arenas + the huge-page
+	// region + ballast + file pages + a collapse's transient run), so the
+	// reclaim → retry-budget → OOM-kill ladder runs for real: ballast
+	// spaces get reaped, and operations that lose even then surface
+	// ErrNoMemory and carry on.
 	Frames uint64
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
@@ -77,6 +78,9 @@ type Report struct {
 	IOErrors   uint64 // operations that surfaced pagecache.ErrIO
 	OOMKills   uint64 // ballast spaces reaped by the killer of last resort
 	Audits     uint64 // machine-wide quiesce audits run
+	HugeFaults uint64 // faults served by installing a 2 MB huge entry
+	Collapses  uint64 // base-page chunks promoted to huge entries
+	HugeSplits uint64 // huge entries demoted to base pages
 	Violations []string
 	Failpoints []fail.PointStats
 }
@@ -103,6 +107,7 @@ var schedule = []struct {
 	{"pagecache.wb-retryable", fail.Config{OneIn: 4}},
 	{"pagecache.wb-sticky", fail.Config{OneIn: 9}},
 	{"reclaim.stall", fail.Config{OneIn: 5}},
+	{"physmem.run-alloc", fail.Config{OneIn: 6}},
 }
 
 // Geometry of one epoch's machine.
@@ -110,8 +115,14 @@ const (
 	arenaPages   = 128 // per-worker private anonymous arena
 	filePages    = 64  // shared file mapping, all workers
 	ballastPages = 160 // per ballast space: the OOM killer's sacrifice
+	thpPages     = 512 // huge-page region: one aligned 2 MB chunk, sliced per worker
 	stampLen     = 16  // bytes written/verified at each arena page start
 )
+
+// thpLo is the huge-page region's fixed base: 2 MB-aligned, placed a
+// gigabyte above the dynamic-mapping floor so findGap-assigned arenas
+// and file regions never collide with it.
+const thpLo = vm.UnmappedBase + (uint64(1) << 30)
 
 // Run executes the torture configuration and returns its report.
 func Run(cfg Config) *Report {
@@ -119,7 +130,7 @@ func Run(cfg Config) *Report {
 		cfg.Workers = 4
 	}
 	if cfg.Frames == 0 {
-		cfg.Frames = 768
+		cfg.Frames = 1536
 	}
 	if len(cfg.Designs) == 0 {
 		cfg.Designs = vm.Designs
@@ -238,6 +249,12 @@ func (t *run) epoch(design vm.Design, epoch int, deadline time.Time) {
 		// Primary + two ballast siblings + one fork child per worker,
 		// with headroom for a straggling Close.
 		MaxFamily: 3 + t.cfg.Workers + 2,
+		// The wall-clock-driven collapse scanner would make runs
+		// unreplayable (torture's whole premise is that a seed replays
+		// the same schedule) and would mutate translations during the
+		// quiesced THP audit. Workers drive promotion synchronously
+		// through CollapseRange in the op mix instead.
+		THPScanInterval: -1,
 	}
 	m := &machine{t: t, ballast: make(map[*vm.AddressSpace]bool)}
 	// Failpoints can fail machine construction (the page-table root's
@@ -335,6 +352,14 @@ func (m *machine) populate(where string) bool {
 		return false
 	}
 	m.fileLo = lo
+	// The huge-page region: one aligned chunk all workers share, each
+	// owning a disjoint slice. Its first touch exercises the 2 MB fault
+	// path; DONTNEED punches split it; repair-and-collapse promotes it
+	// back.
+	if _, err := m.as.Mmap(thpLo, thpPages*vm.PageSize, vma.ProtRead|vma.ProtWrite, vma.Private|vma.Fixed, nil, 0); err != nil {
+		t.classify(where+": map thp region", err)
+		return false
+	}
 	for w := 0; w < t.cfg.Workers; w++ {
 		base, err := m.as.Mmap(0, arenaPages*vm.PageSize, vma.ProtRead|vma.ProtWrite, vma.Private, nil, 0)
 		if err != nil {
@@ -380,6 +405,12 @@ func (m *machine) worker(where string, w int, stop chan struct{}) {
 	// expected[i] is the stamp byte page i of the arena must read back;
 	// absent means unknown (never written, or discarded by DONTNEED).
 	expected := make(map[uint64]byte)
+	// This worker's slice of the shared huge-page chunk, with its own
+	// oracle: writes stay in-slice, so collapses and splits driven by
+	// any worker must preserve every slice's contents.
+	slicePages := uint64(thpPages / t.cfg.Workers)
+	sliceBase := thpLo + uint64(w)*slicePages*vm.PageSize
+	thpExpected := make(map[uint64]byte)
 	buf := make([]byte, stampLen)
 
 	for iter := 0; ; iter++ {
@@ -391,7 +422,7 @@ func (m *machine) worker(where string, w int, stop chan struct{}) {
 		// Hold the world read-side for one iteration: the quiesce
 		// auditor's write lock marks a full stop between iterations.
 		m.world.RLock()
-		switch op := rng() % 16; {
+		switch op := rng() % 20; {
 		case op < 5: // arena write
 			page := rng() % arenaPages
 			b := byte(rng())
@@ -440,12 +471,72 @@ func (m *machine) worker(where string, w int, stop chan struct{}) {
 			t.classify(where+": file dontneed", m.as.MadviseDontNeed(m.fileLo+page*vm.PageSize, vm.PageSize))
 		case op < 15: // translation-stability audit on a hot address
 			addr := arena + (rng()%arenaPages)*vm.PageSize
-			if rng()%2 == 0 {
+			switch rng() % 3 {
+			case 0:
 				addr = m.fileLo + (rng()%filePages)*vm.PageSize
+			case 1:
+				// Huge-region addresses audit the same invariant through
+				// a 2 MB entry's synthesized translation.
+				addr = thpLo + (rng()%thpPages)*vm.PageSize
 			}
 			if err := cpu.AuditTranslation(addr); err != nil {
 				t.violate("%s: %v", where, err)
 			}
+		case op < 16 && slicePages > 0: // THP slice write
+			page := rng() % slicePages
+			b := byte(rng())
+			for i := range buf {
+				buf[i] = b
+			}
+			err := cpu.WriteBytes(sliceBase+page*vm.PageSize, buf)
+			if err == nil {
+				thpExpected[page] = b
+			}
+			t.classify(where+": thp write", err)
+		case op < 17 && slicePages > 0: // THP slice verify
+			page := rng() % slicePages
+			want, known := thpExpected[page]
+			err := cpu.ReadBytes(sliceBase+page*vm.PageSize, buf)
+			t.classify(where+": thp read", err)
+			if err == nil && known {
+				for i, got := range buf {
+					if got != want {
+						t.violate("%s: thp page %d byte %d: got %#x, want %#x", where, page, i, got, want)
+						break
+					}
+				}
+			}
+		case op < 18 && slicePages > 0: // THP slice discard: a one-page
+			// DONTNEED inside a huge chunk demotes the entry in place.
+			page := rng() % slicePages
+			if err := m.as.MadviseDontNeed(sliceBase+page*vm.PageSize, vm.PageSize); err == nil {
+				delete(thpExpected, page)
+			} else {
+				t.classify(where+": thp dontneed", err)
+			}
+		case op < 19 && slicePages > 0: // THP repair-and-collapse: refill
+			// this worker's slice, then ask for promotion — which only
+			// succeeds when every slice happens to be whole, the
+			// MADV_COLLAPSE race the survey's double-check absorbs.
+			for page := uint64(0); page < slicePages; page++ {
+				addr := sliceBase + page*vm.PageSize
+				if _, ok := m.as.Translate(addr); ok {
+					continue
+				}
+				b := byte(rng())
+				for i := range buf {
+					buf[i] = b
+				}
+				err := cpu.WriteBytes(addr, buf)
+				if err == nil {
+					thpExpected[page] = b
+				}
+				t.classify(where+": thp repair", err)
+				if err != nil {
+					break
+				}
+			}
+			m.as.CollapseRange(thpLo, thpLo+thpPages*vm.PageSize)
 		default: // COW fork: child must see the arena snapshot
 			m.fork(where, w, cpu, arena, expected)
 		}
@@ -499,6 +590,9 @@ func (m *machine) quiesceAudit(where string) {
 		if err := m.as.AuditPageCaches(); err != nil {
 			t.violate("%s: audit(primary): %v", where, err)
 		}
+		if err := m.as.AuditTHP(); err != nil {
+			t.violate("%s: audit(thp): %v", where, err)
+		}
 		m.ballastMu.Lock()
 		for b, live := range m.ballast {
 			if !live {
@@ -545,6 +639,10 @@ func (m *machine) teardown(where string) {
 	sn := m.as.Snapshot()
 	t.report.OOMKills += sn.Space.OOMKills
 	t.report.Failpoints = sn.Failpoints
+	st := m.as.Stats()
+	t.report.HugeFaults += st.THPHugeFaults
+	t.report.Collapses += st.THPCollapses
+	t.report.HugeSplits += st.THPSplits
 	if err := m.as.Close(); err != nil {
 		t.violate("%s: machine leaked at teardown: %v", where, err)
 	}

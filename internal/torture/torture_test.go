@@ -28,8 +28,13 @@ func TestSmokeWithFaults(t *testing.T) {
 	if rep.Epochs == 0 || rep.Ops == 0 || rep.Audits == 0 {
 		t.Fatalf("no work done: %+v", rep)
 	}
-	t.Logf("epochs=%d ops=%d audits=%d oom=%d io=%d kills=%d",
-		rep.Epochs, rep.Ops, rep.Audits, rep.OOMErrors, rep.IOErrors, rep.OOMKills)
+	if rep.HugeFaults == 0 || rep.HugeSplits == 0 {
+		t.Errorf("huge-page paths not exercised: hugeFaults=%d splits=%d collapses=%d",
+			rep.HugeFaults, rep.HugeSplits, rep.Collapses)
+	}
+	t.Logf("epochs=%d ops=%d audits=%d oom=%d io=%d kills=%d thp=%d/%d/%d",
+		rep.Epochs, rep.Ops, rep.Audits, rep.OOMErrors, rep.IOErrors, rep.OOMKills,
+		rep.HugeFaults, rep.Collapses, rep.HugeSplits)
 	for _, p := range rep.Failpoints {
 		t.Logf("failpoint %s: hits=%d fires=%d", p.Name, p.Hits, p.Fires)
 	}

@@ -122,6 +122,7 @@ const (
 	FaultFileFill      uint64 = 1 << 3 // page-cache fill
 	FaultShortageRetry uint64 = 1 << 4 // retried through reclaim
 	FaultError         uint64 = 1 << 5 // returned an error
+	FaultHuge          uint64 = 1 << 6 // serviced by a 2 MB huge entry
 )
 
 // Mapping-op codes (EvMapEnter/EvMapExit arg b low bits).

@@ -96,6 +96,70 @@ func (as *AddressSpace) auditPTEs() error {
 	return errors.Join(errs...)
 }
 
+// AuditTHP validates every live huge entry in this address space
+// against the THP invariants, and the entry population against the
+// page-table tree's lifecycle counters:
+//
+//   - a huge entry lives only inside an anonymous, private, non-stack
+//     region that fully covers its aligned 2 MB chunk (boundary-
+//     crossing mprotect and munmap demote straddlers first);
+//   - no leaf table coexists with it — the translation is exclusive;
+//   - a writable entry implies a writable region (downgrades narrow or
+//     split the entry in place);
+//   - its frame run is buddy-aligned, and all 512 frames are allocated,
+//     exclusively owned (reference count 1), and not page-cache frames;
+//   - the number of live entries walked equals installs − splits − zaps,
+//     the identity the AnonHugePages gauge reports.
+//
+// Same quiescence requirement as AuditPageCaches: no fault, mapping
+// operation, fork, collapse, or reclaim scan in flight on any member.
+func (as *AddressSpace) AuditTHP() error {
+	var errs []error
+	live := uint64(0)
+	for _, r := range as.Regions() {
+		anon := r.File == nil && r.Flags&(vma.Shared|vma.Stack) == 0
+		lo := (r.Start + HugeSpan - 1) &^ (HugeSpan - 1)
+		for chunk := lo; chunk+HugeSpan <= r.End; chunk += HugeSpan {
+			h, ok := as.tables.WalkHuge(chunk)
+			if !ok {
+				continue
+			}
+			live++
+			if !anon {
+				errs = append(errs, fmt.Errorf("huge entry %#x: inside a file-backed, shared, or stack region", chunk))
+			}
+			if as.tables.WalkTable(chunk) != nil {
+				errs = append(errs, fmt.Errorf("huge entry %#x: a leaf table coexists with the huge translation", chunk))
+			}
+			if h&pagetable.PTEWritable != 0 && r.Prot&vma.ProtWrite == 0 {
+				errs = append(errs, fmt.Errorf("huge entry %#x: writable inside a read-only region", chunk))
+			}
+			run := pagetable.PTEFrame(h)
+			if uint64(run)%pagetable.EntriesPerTable != 0 {
+				errs = append(errs, fmt.Errorf("huge entry %#x: frame run %d is not order-%d aligned", chunk, run, pagetable.HugeOrder))
+				continue
+			}
+			for i := physmem.Frame(0); i < pagetable.EntriesPerTable; i++ {
+				f := run + i
+				switch {
+				case !as.alloc.Allocated(f):
+					errs = append(errs, fmt.Errorf("huge entry %#x: frame %d of its run is free", chunk, f))
+				case as.alloc.Refs(f) != 1:
+					errs = append(errs, fmt.Errorf("huge entry %#x: frame %d has %d references, want exclusive ownership", chunk, f, as.alloc.Refs(f)))
+				case as.fam.ms.reg.Lookup(f) != nil:
+					errs = append(errs, fmt.Errorf("huge entry %#x: frame %d is a registered page-cache frame", chunk, f))
+				}
+			}
+		}
+	}
+	installs, splits, zaps := as.tables.HugeStats()
+	if want := installs - splits - zaps; live != want {
+		errs = append(errs, fmt.Errorf("walked %d live huge entries, counters say %d (installs %d − splits %d − zaps %d)",
+			live, want, installs, splits, zaps))
+	}
+	return errors.Join(errs...)
+}
+
 // QuiesceReclaim runs fn while the machine's eviction scans are held
 // off and the RCU domain's deferred work (evicted frames' releases,
 // revoked mappings' reference drops) has drained. It is the bracket

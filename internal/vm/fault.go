@@ -438,8 +438,30 @@ func checkProt(v *vma.VMA, write bool) error {
 // one). On a detected race fillPage returns errRetrySlow.
 func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool, locked bool) error {
 	as := c.as
+	// Huge-first policy: a huge entry may already translate the page (a
+	// prior 2 MB fault or a background collapse), or an eligible first
+	// touch may install one. Both paths work identically under all four
+	// §5 designs — the huge install runs its own §5.2 double check under
+	// the page-directory lock, the analogue of the PTE-lock recheck.
+	if !as.cfg.NoTHP {
+		if h, ok := as.tables.WalkHuge(page); ok {
+			return c.hugeHit(h, page, write, recheck)
+		}
+		if hugeEligible(v, page) {
+			done, err := c.hugeFault(v, page, recheck)
+			if done || err != nil {
+				return err
+			}
+			// Fall through: base pages (no run free, or a racing fault).
+		}
+	}
 	pt, err := as.tables.EnsureTable(c.id, page)
 	if err != nil {
+		if errors.Is(err, pagetable.ErrHugeMapped) {
+			// A racing fault promoted the span between the walk above
+			// and here; retry to take the huge-hit path.
+			return errRetrySlow
+		}
 		return oomError(err)
 	}
 	// A COW break revokes the old shared translation; it batches into a
@@ -485,7 +507,10 @@ func (c *CPU) fillPage(v *vma.VMA, page uint64, write bool, recheck func() bool,
 		if err != nil {
 			return 0, err
 		}
-		return pagetable.MakePTE(frame, v.Prot()&vma.ProtWrite != 0), nil
+		// Fresh anonymous pages install with the software accessed bit:
+		// the faulting touch is the first heat sample the collapse
+		// scanner's clock observes.
+		return pagetable.MakePTE(frame, v.Prot()&vma.ProtWrite != 0) | pagetable.PTEAccessed, nil
 	}, makeCopy, onUpgrade)
 	if g != nil {
 		// The COW break ran (even if FillOrUpgrade then failed): pay its

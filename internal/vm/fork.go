@@ -58,6 +58,12 @@ func (as *AddressSpace) forkOnce() (*AddressSpace, error) {
 	defer mg.unlock()
 	as.stats.forks.Add(1)
 
+	// The child's own whole-space exclusion is held for the entire
+	// clone: the background collapse scanner sweeps every live member,
+	// and a promotion inside the half-built child would break the
+	// clone's EnsureTable installs mid-flight.
+	cg := child.lockAll()
+
 	// One gather spans the whole fork: every private PTE the clone
 	// downgrades to read-only COW accumulates here, and the single
 	// flush below — still under the whole-space lock, like the
@@ -77,6 +83,12 @@ func (as *AddressSpace) forkOnce() (*AddressSpace, error) {
 		// ones, so a later mprotect-to-writable cannot alias stores);
 		// Shared mappings share pages verbatim.
 		cow := v.Flags()&vma.Shared == 0
+		// Huge entries are never copy-on-write: demote them to base
+		// pages first (riding the fork's gather), so the child inherits
+		// page-granular COW entries and breaks them one page at a time.
+		if cow && !as.cfg.NoTHP {
+			as.tables.SplitHugeRange(g, lo, hi)
+		}
 		// clonePages remembers which cloned frames were live cache pages
 		// at clone time (observed under the parent's PTE lock, so exact:
 		// a mapped frame cannot be recycled into a different page). The
@@ -124,7 +136,6 @@ func (as *AddressSpace) forkOnce() (*AddressSpace, error) {
 	if cloneErr != nil {
 		// Unwind the partially built child completely, so a retry after
 		// direct reclaim starts from scratch.
-		cg := child.lockAll()
 		child.munmapLocked(0, MaxAddress)
 		cg.unlock()
 		child.tables.ReleaseRoot(child.mapCPU)
@@ -133,6 +144,7 @@ func (as *AddressSpace) forkOnce() (*AddressSpace, error) {
 		as.fam.releaseMember(child.member)
 		return nil, oomError(cloneErr)
 	}
+	cg.unlock()
 	return child, nil
 }
 
@@ -155,7 +167,7 @@ func (c *CPU) cowBreak(g *tlb.Gather, page, old uint64) (uint64, error) {
 		// translation is revoked — widening a local entry needs no
 		// cross-core invalidation.
 		as.stats.cowReowned.Add(1)
-		return pagetable.MakePTE(oldFrame, true), nil
+		return pagetable.MakePTE(oldFrame, true) | pagetable.PTEAccessed, nil
 	}
 	newFrame, err := as.alloc.Alloc(c.id)
 	if err != nil {
@@ -175,5 +187,5 @@ func (c *CPU) cowBreak(g *tlb.Gather, page, old uint64) (uint64, error) {
 	// address space until a grace period passes, and through stale TLB
 	// entries until the gather flushes.
 	g.Page(page, oldFrame)
-	return pagetable.MakePTE(newFrame, true), nil
+	return pagetable.MakePTE(newFrame, true) | pagetable.PTEAccessed, nil
 }

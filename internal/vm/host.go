@@ -50,6 +50,12 @@ type machine struct {
 	// exactly one of them may stop the reclaimer and close the domain.
 	tornDown bool
 
+	// thpStop/thpDone bracket the background collapse scanner (the
+	// khugepaged analogue); nil when THP or the scanner is disabled.
+	// Stopped once, by whichever side wins the teardown latch.
+	thpStop chan struct{}
+	thpDone chan struct{}
+
 	// oomMu serializes killer-of-last-resort invocations machine-wide:
 	// one exhausted operation reaps at a time, and the ones queued
 	// behind it re-run their allocation against whatever the kill freed
@@ -86,6 +92,7 @@ func newMachine(cfg Config, maxTenants int) *machine {
 		BatchPages: cfg.ReclaimBatch,
 		TLB:        ms.tlb,
 	})
+	ms.startCollapser()
 	return ms
 }
 
@@ -171,10 +178,12 @@ func (ms *machine) retireTenant(fam *family) error {
 	}
 	ms.tenantsMu.Unlock()
 	if last {
-		// Stop the background reclaimer first (a scan in flight would
-		// race the cache teardown), then release the page caches' frame
-		// references; the deferred frees drain in the domain's closing
-		// flush, so the leak check below sees them.
+		// Stop the collapse scanner and the background reclaimer first
+		// (a sweep or scan in flight would race the teardown), then
+		// release the page caches' frame references; the deferred frees
+		// drain in the domain's closing flush, so the leak check below
+		// sees them.
+		ms.stopCollapser()
 		ms.rec.Close()
 		fam.dropCaches()
 		ms.dom.Close()
@@ -213,6 +222,7 @@ func (ms *machine) largestVictim(except *AddressSpace) *AddressSpace {
 // teardown closes an empty machine (no live tenants): Host.Close's
 // half of the last-member teardown in retireTenant.
 func (ms *machine) teardown() error {
+	ms.stopCollapser()
 	ms.rec.Close()
 	ms.dom.Close()
 	if n := ms.alloc.InUse(); n != 0 {

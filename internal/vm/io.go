@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"bonsai/internal/pagetable"
+	"bonsai/internal/physmem"
 	"bonsai/internal/vma"
 )
 
@@ -74,7 +75,24 @@ func (c *CPU) accessPage(pos uint64, chunk []byte, write bool) error {
 		c.rd.Lock()
 		pt := as.tables.WalkTable(page)
 		if pt == nil {
+			// A huge entry may map the span: copy under the
+			// page-directory lock (AccessHuge's copy-under-lock
+			// discipline, which also marks the entry accessed). A write
+			// to a read-only huge entry declines, and the re-fault
+			// upgrades it in place.
+			done := as.tables.AccessHuge(page, write, func(h uint64) {
+				sub := physmem.Frame((page >> pagetable.PageShift) & (pagetable.EntriesPerTable - 1))
+				data := as.alloc.Data(pagetable.PTEFrame(h) + sub)
+				if write {
+					copy(data[pos-page:], chunk)
+				} else {
+					copy(chunk, data[pos-page:])
+				}
+			})
 			c.rd.Unlock()
+			if done {
+				return nil
+			}
 			continue
 		}
 		pt.Lock()
@@ -95,6 +113,11 @@ func (c *CPU) accessPage(pos uint64, chunk []byte, write bool) error {
 			copy(data[pos-page:], chunk)
 		} else {
 			copy(chunk, data[pos-page:])
+		}
+		if pte&pagetable.PTEAccessed == 0 {
+			// Record the touch for the collapse scanner's clock, inside
+			// the same critical section that validated the translation.
+			pt.SetPTE(idx, pte|pagetable.PTEAccessed)
 		}
 		pt.Unlock()
 		c.rd.Unlock()

@@ -109,13 +109,30 @@ func (as *AddressSpace) mprotectLocked(lo, hi uint64, prot vma.Prot) error {
 	// protection forbids writing: the downgrades batch into one gather
 	// and pay a single shootdown flush (stale writable entries on other
 	// cores must be invalidated before the downgrade is effective),
-	// still inside the caller's mapping exclusion.
+	// still inside the caller's mapping exclusion. A huge entry fully
+	// inside the range downgrades in place; one straddling the boundary
+	// is split (demoted to base pages) riding the same gather.
 	if prot&vma.ProtWrite == 0 {
-		if n := as.tables.WriteProtectRange(lo, hi); n > 0 {
-			g := as.fam.ms.tlb.Gather(as.mapCPU)
-			g.Revoke(n)
-			g.Flush()
+		g := as.fam.ms.tlb.Gather(as.mapCPU)
+		n, _ := as.tables.WriteProtectRange(g, lo, hi)
+		g.Revoke(n)
+		g.Flush() // no-op when nothing was narrowed or split
+	} else if !as.cfg.NoTHP {
+		// A write-enabling change touches no translations — write faults
+		// upgrade read-only PTEs on demand — but a read-only huge entry
+		// straddling either boundary would later upgrade as one 2 MB
+		// unit, widening pages outside the range. Demote straddlers to
+		// base pages (the kernel's split_huge_pmd at unaligned mprotect
+		// boundaries), riding one gather.
+		g := as.fam.ms.tlb.Gather(as.mapCPU)
+		loCut, hiCut := lo%HugeSpan != 0, hi%HugeSpan != 0
+		if loCut {
+			as.tables.SplitHuge(g, lo)
 		}
+		if hiCut && !(loCut && hi&^(HugeSpan-1) == lo&^(HugeSpan-1)) {
+			as.tables.SplitHuge(g, hi)
+		}
+		g.Flush()
 	}
 	return nil
 }

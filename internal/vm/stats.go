@@ -44,6 +44,14 @@ type statsCounters struct {
 	cacheMisses         atomic.Uint64
 	evictUnmaps         atomic.Uint64
 	reclaimRetries      atomic.Uint64
+
+	// Transparent-huge-page counters for the paths the VM layer drives
+	// (splits and zaps are counted by the page-table tree itself — a
+	// partial munmap demotes deep inside the unmap scan).
+	thpHugeFaults    atomic.Uint64 // faults satisfied by installing a huge entry
+	thpFallbacks     atomic.Uint64 // huge-eligible faults that fell back to base pages
+	thpCollapses     atomic.Uint64 // base-page chunks promoted to huge entries
+	thpCollapseFails atomic.Uint64 // collapse attempts aborted (ineligible or no run)
 }
 
 func (s *statsCounters) retry(r retryReason) {
@@ -89,6 +97,16 @@ type Stats struct {
 	// Reclaim-side counters for this address space.
 	EvictUnmaps    uint64 // PTEs revoked out of this space by the eviction scan
 	ReclaimRetries uint64 // faults that ran direct reclaim and retried
+
+	// Transparent-huge-page counters: the 2MB fault path, khugepaged-
+	// style collapses, and gather-driven demotions.
+	THPHugeFaults    uint64 // faults satisfied by installing a huge entry
+	THPFallbacks     uint64 // huge-eligible faults that fell back to base pages
+	THPCollapses     uint64 // base-page chunks promoted to huge entries
+	THPCollapseFails uint64 // collapse attempts aborted (ineligible or no run)
+	THPSplits        uint64 // huge entries demoted to base pages in place
+	THPZaps          uint64 // huge entries fully unmapped
+	AnonHugePages    int64  // huge entries currently live (each maps 512 pages)
 
 	// TLB-shootdown counters, family-wide (the gather domain is shared
 	// with forks, siblings, and the reclaim scan, like the frame pool).
@@ -136,6 +154,7 @@ func (s Stats) PagesPerFlush() float64 {
 func (as *AddressSpace) Stats() Stats {
 	pc := as.PageCacheStats()
 	tl := as.fam.ms.tlb.Stats()
+	hugeInstalls, hugeSplits, hugeZaps := as.tables.HugeStats()
 	return Stats{
 		TLBFlushes:      tl.Flushes,
 		TLBPagesFlushed: tl.PagesFlushed,
@@ -157,6 +176,14 @@ func (as *AddressSpace) Stats() Stats {
 
 		EvictUnmaps:    as.stats.evictUnmaps.Load(),
 		ReclaimRetries: as.stats.reclaimRetries.Load(),
+
+		THPHugeFaults:    as.stats.thpHugeFaults.Load(),
+		THPFallbacks:     as.stats.thpFallbacks.Load(),
+		THPCollapses:     as.stats.thpCollapses.Load(),
+		THPCollapseFails: as.stats.thpCollapseFails.Load(),
+		THPSplits:        hugeSplits,
+		THPZaps:          hugeZaps,
+		AnonHugePages:    int64(hugeInstalls) - int64(hugeSplits) - int64(hugeZaps),
 
 		Faults:              as.stats.faults.Load(),
 		FaultsAlreadyMapped: as.stats.faultsAlreadyMapped.Load(),

@@ -220,7 +220,20 @@ type Config struct {
 	// ReclaimBatch bounds the eviction candidates per reclaim scan
 	// pass. Zero means the reclaim package default (64).
 	ReclaimBatch int
+	// NoTHP disables transparent huge pages entirely: faults never
+	// attempt a 2 MB install and the machine starts no collapse scanner.
+	// The default (false) gives aligned anonymous private regions a
+	// huge-first fault path with base-page fallback.
+	NoTHP bool
+	// THPScanInterval paces the background collapse scanner between
+	// whole-machine passes. Zero means DefaultTHPScanInterval; negative
+	// disables the scanner while keeping the huge fault path.
+	THPScanInterval time.Duration
 }
+
+// DefaultTHPScanInterval paces the collapse scanner's passes (the
+// khugepaged scan_sleep analogue, compressed to simulation time scales).
+const DefaultTHPScanInterval = 10 * time.Millisecond
 
 // DefaultMaxFamily supports an original address space plus seven
 // concurrently live forks.
